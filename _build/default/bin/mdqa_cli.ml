@@ -1,0 +1,387 @@
+(* mdqa: command-line front end to the Datalog± engine.
+
+   Programs are written in the surface syntax of {!Mdqa_datalog.Parser}
+   (facts, TGDs, EGDs, negative constraints, queries).  Subcommands:
+
+     mdqa chase FILE            run the chase, print the saturated instance
+     mdqa query FILE [-q Q]     answer queries (chase | proof | rewrite)
+     mdqa classify FILE         Datalog± class report and position graph
+     mdqa check FILE            constraints only: EGD/NC verdict
+
+   Example program file:
+
+     unit_ward(standard, w1).
+     unit_ward(standard, w2).
+     patient_ward(w1, sep5, tom).
+     patient_unit(U, D, P) :- patient_ward(W, D, P), unit_ward(U, W).
+     ?q(U) :- patient_unit(U, sep5, tom). *)
+
+open Cmdliner
+module Cterm = Cmdliner.Term
+open Mdqa_datalog
+module R = Mdqa_relational
+
+let load path =
+  try Ok (Parser.parse_file path) with
+  | Parser.Error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error e -> Error e
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("mdqa: " ^ e);
+    exit 1
+
+(* --- common arguments ---------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Datalog± program file.")
+
+let max_steps_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Chase step budget.")
+
+let max_nulls_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "max-nulls" ] ~docv:"N" ~doc:"Chase labeled-null budget.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Enable debug logging (chase tracing).")
+
+let oblivious_arg =
+  Arg.(
+    value & flag
+    & info [ "oblivious" ]
+        ~doc:"Use the oblivious chase instead of the restricted one.")
+
+(* --- chase ----------------------------------------------------------- *)
+
+let run_chase file max_steps max_nulls oblivious verbose =
+  setup_logging verbose;
+  let { Parser.program; _ } = or_die (load file) in
+  let inst = Program.instance_of_facts program in
+  let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
+  let r = Chase.run ~variant ~max_steps ~max_nulls program inst in
+  Format.printf "outcome: %a@." Chase.pp_outcome r.Chase.outcome;
+  Format.printf
+    "rounds: %d  firings: %d  triggers: %d  nulls: %d  egd merges: %d@.@."
+    r.Chase.stats.Chase.rounds r.Chase.stats.Chase.tgd_fires
+    r.Chase.stats.Chase.triggers_checked r.Chase.stats.Chase.nulls_created
+    r.Chase.stats.Chase.egd_merges;
+  List.iter
+    (fun rel ->
+      if not (R.Relation.is_empty rel) then begin
+        R.Table_fmt.print rel;
+        print_newline ()
+      end)
+    (R.Instance.relations r.Chase.instance);
+  if r.Chase.outcome = Chase.Saturated then 0 else 1
+
+let chase_cmd =
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Run the chase and print the saturated instance.")
+    Cterm.(
+      const run_chase $ file_arg $ max_steps_arg $ max_nulls_arg
+      $ oblivious_arg $ verbose_arg)
+
+(* --- query ----------------------------------------------------------- *)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chase", `Chase); ("proof", `Proof); ("rewrite", `Rewrite) ])
+        `Chase
+    & info [ "engine"; "e" ] ~docv:"ENGINE"
+        ~doc:
+          "Answering engine: $(b,chase) (materialize then evaluate), \
+           $(b,proof) (top-down DeterministicWSQAns), or $(b,rewrite) \
+           (FO rewriting, upward-only rule sets).")
+
+let query_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "query"; "q" ] ~docv:"QUERY"
+        ~doc:"Extra query, e.g. 'q(X) :- p(X, Y)'. Repeatable; queries \
+              embedded in FILE also run.")
+
+let print_answers name answers =
+  Printf.printf "%s:" name;
+  if answers = [] then print_string " (no certain answers)";
+  print_newline ();
+  List.iter (fun t -> Format.printf "  %a@." R.Tuple.pp t) answers
+
+let goal_directed_arg =
+  Arg.(
+    value & flag
+    & info [ "goal-directed" ]
+        ~doc:
+          "With the chase engine: restrict the rules to those relevant \
+           to the query before chasing.")
+
+let run_query file engine query_strings goal_directed =
+  let { Parser.program; queries } = or_die (load file) in
+  let extra =
+    List.map
+      (fun s ->
+        try Parser.parse_query s
+        with Parser.Error { message; _ } ->
+          or_die (Error (Printf.sprintf "query %S: %s" s message)))
+      query_strings
+  in
+  let queries = queries @ extra in
+  if queries = [] then or_die (Error "no queries (use -q or add ?q(..) :- ..)");
+  let inst = Program.instance_of_facts program in
+  let failed = ref false in
+  List.iter
+    (fun q ->
+      match engine with
+      | `Chase -> (
+        match Query.certain_answers ~goal_directed program inst q with
+        | Query.Ok answers -> print_answers q.Query.name answers
+        | Query.Inconsistent f ->
+          Format.printf "%s: inconsistent — %a@." q.Query.name
+            Chase.pp_outcome (Chase.Failed f);
+          failed := true
+        | Query.Budget _ ->
+          Printf.printf "%s: chase budget exhausted\n" q.Query.name;
+          failed := true)
+      | `Proof ->
+        let r = Proof.answer program inst q in
+        print_answers q.Query.name r.Proof.answers;
+        if not r.Proof.complete then begin
+          Printf.printf "  (search truncated after %d steps)\n" r.Proof.steps;
+          failed := true
+        end
+      | `Rewrite -> (
+        match Rewrite.answers program inst q with
+        | Ok answers -> print_answers q.Query.name answers
+        | Error e ->
+          Printf.printf "%s: %s\n" q.Query.name e;
+          failed := true))
+    queries;
+  if !failed then 1 else 0
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Answer conjunctive queries over a program.")
+    Cterm.(
+      const run_query $ file_arg $ engine_arg $ query_arg
+      $ goal_directed_arg)
+
+(* --- classify -------------------------------------------------------- *)
+
+let run_classify file =
+  let { Parser.program; _ } = or_die (load file) in
+  Format.printf "%a@.@." Classes.pp_report (Classes.classify program);
+  let g = Position_graph.build program in
+  let finite = Position_graph.finite_rank_positions g in
+  let infinite = Position_graph.infinite_rank_positions g in
+  Format.printf "positions: %d finite rank, %d infinite rank@."
+    (List.length finite) (List.length infinite);
+  if infinite <> [] then
+    Format.printf "infinite-rank: %s@."
+      (String.concat ", "
+         (List.map (fun (p, i) -> Printf.sprintf "%s[%d]" p i) infinite));
+  let affected = Position_graph.affected_positions g in
+  Format.printf "affected positions: %s@."
+    (if affected = [] then "(none)"
+     else
+       String.concat ", "
+         (List.map (fun (p, i) -> Printf.sprintf "%s[%d]" p i) affected));
+  Format.printf "EGD separability (non-affected heads): %a@."
+    Separability.pp_verdict (Separability.non_affected_heads program);
+  Format.printf "rewritable by unfolding (acyclic predicates): %b@."
+    (Rewrite.rewritable program);
+  0
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Report Datalog± class membership and position-graph facts.")
+    Cterm.(const run_classify $ file_arg)
+
+(* --- check ----------------------------------------------------------- *)
+
+let run_check file max_steps max_nulls =
+  let { Parser.program; _ } = or_die (load file) in
+  let inst = Program.instance_of_facts program in
+  let r = Chase.run ~max_steps ~max_nulls program inst in
+  (match r.Chase.outcome with
+   | Chase.Saturated ->
+     print_endline "consistent: all EGDs and constraints satisfied"
+   | o -> Format.printf "%a@." Chase.pp_outcome o);
+  if r.Chase.outcome = Chase.Saturated then 0 else 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check EGDs and negative constraints (via chase).")
+    Cterm.(const run_check $ file_arg $ max_steps_arg $ max_nulls_arg)
+
+(* --- context: the full MD quality pipeline over .mdq files ----------- *)
+
+let repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "If the data violates the denial constraints, discard a minimal \
+           set of offending tuples (subset repair) before assessing, as in \
+           the paper's Example 1.")
+
+let load_csv_arg =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string file) []
+    & info [ "load" ] ~docv:"REL=FILE.csv"
+        ~doc:
+          "Replace (or create) a source relation from a CSV file before \
+           assessing.  Repeatable.")
+
+let explain_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "explain" ] ~docv:"N"
+        ~doc:
+          "Print the derivation tree of up to $(docv) tuples of each \
+           quality version (why they were deemed up to quality).")
+
+let run_context file do_repair loads explain_n =
+  let module Context = Mdqa_context.Context in
+  let module Repair = Mdqa_context.Repair in
+  let module Md_ontology = Mdqa_multidim.Md_ontology in
+  let parsed =
+    try Mdqa_context.Md_parser.parse_file file with
+    | Mdqa_context.Md_parser.Error { line; message } ->
+      or_die (Error (Printf.sprintf "%s:%d: %s" file line message))
+    | Sys_error e -> or_die (Error e)
+  in
+  let { Mdqa_context.Md_parser.ontology; context; source; queries } = parsed in
+  (* CSV overrides for source relations *)
+  List.iter
+    (fun (rel, path) ->
+      match
+        (try Ok (R.Csv_io.load_relation ~name:rel path)
+         with Failure e | Sys_error e -> Error e)
+      with
+      | Error e -> or_die (Error (path ^ ": " ^ e))
+      | Ok loaded -> (
+        match R.Instance.find source rel with
+        | Some existing ->
+          if R.Relation.arity existing <> R.Relation.arity loaded then
+            or_die
+              (Error
+                 (Printf.sprintf "%s: arity %d does not match declared %d"
+                    path (R.Relation.arity loaded) (R.Relation.arity existing)));
+          (* replace contents *)
+          R.Relation.iter (fun t -> ignore (R.Relation.remove existing t))
+            (R.Relation.copy existing);
+          R.Relation.iter (fun t -> ignore (R.Relation.add existing t)) loaded
+        | None ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "--load %s: no 'source %s(...)' declaration in %s" rel rel
+                  file))))
+    loads;
+  (* Static reports. *)
+  (match Md_ontology.referential_violations ontology with
+   | [] -> print_endline "referential constraints (1): satisfied"
+   | viols ->
+     List.iter
+       (fun v -> Format.printf "referential violation: %a@." Md_ontology.pp_violation v)
+       viols);
+  Format.printf "Datalog± classes:@.%a@." Classes.pp_report
+    (Md_ontology.classes ontology);
+  Format.printf "EGD separability: %a@." Separability.pp_verdict
+    (Md_ontology.separability ontology);
+  Printf.printf "upward-only: %b\n\n" (Md_ontology.is_upward_only ontology);
+  (* Assessment. *)
+  let finish (a : Context.assessment) =
+    let explain_quality (a : Context.assessment) =
+      if explain_n > 0 then
+        List.iter
+          (fun (orig, _) ->
+            match Context.quality_version a orig with
+            | Some q ->
+              let shown = ref 0 in
+              R.Relation.iter
+                (fun t ->
+                  if !shown < explain_n then begin
+                    incr shown;
+                    match Context.explain a orig t with
+                    | Ok tree ->
+                      Printf.printf "why is this %s tuple up to quality?\n"
+                        orig;
+                      Format.printf "%a@." Explain.pp tree
+                    | Error e -> print_endline e
+                  end)
+                q
+            | None -> ())
+          context.Context.quality_versions
+    in
+    Format.printf "chase: %a@.@." Chase.pp_outcome a.Context.chase.Chase.outcome;
+    if a.Context.chase.Chase.outcome = Chase.Saturated then begin
+      List.iter
+        (fun (orig, _) ->
+          match Context.quality_version a orig with
+          | Some q ->
+            R.Table_fmt.print ~title:(orig ^ " quality version") q;
+            print_newline ()
+          | None -> Printf.printf "no quality version for %s\n" orig)
+        context.Context.quality_versions;
+      explain_quality a;
+      Format.printf "%a@.@." Mdqa_context.Assessment.pp_report
+        (Mdqa_context.Assessment.report a);
+      List.iter
+        (fun q ->
+          match Context.clean_answers a q with
+          | Some answers -> print_answers (q.Query.name ^ " (quality)") answers
+          | None -> Printf.printf "%s: no answers (inconsistent)\n" q.Query.name)
+        queries;
+      0
+    end
+    else 1
+  in
+  if do_repair then
+    match Repair.assess_repaired context ~source with
+    | Ok (a, removed) ->
+      if removed <> [] then begin
+        print_endline "discarded by repair:";
+        List.iter
+          (fun d -> Format.printf "  %a@." Repair.pp_deletion d)
+          removed;
+        print_newline ()
+      end;
+      finish a
+    | Error e -> or_die (Error e)
+  else finish (Context.assess ~provenance:(explain_n > 0) context ~source)
+
+let context_cmd =
+  Cmd.v
+    (Cmd.info "context"
+       ~doc:
+         "Run a full multidimensional quality-assessment pipeline from an \
+          .mdq context file: classes, constraints, chase, quality versions, \
+          quality query answers.")
+    Cterm.(
+      const run_context $ file_arg $ repair_arg $ load_csv_arg $ explain_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "mdqa" ~version:"1.0.0"
+       ~doc:
+         "Multidimensional ontological contexts for data quality \
+          assessment — Datalog± engine CLI.")
+    [ chase_cmd; query_cmd; classify_cmd; check_cmd; context_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

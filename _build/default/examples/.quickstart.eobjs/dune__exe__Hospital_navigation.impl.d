@@ -1,0 +1,1 @@
+examples/hospital_navigation.ml: Atom Chase Format List Mdqa_datalog Mdqa_hospital Mdqa_multidim Mdqa_relational Printf Proof Query Term Tgd

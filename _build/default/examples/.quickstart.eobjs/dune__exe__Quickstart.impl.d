@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chase Explain Format List Mdqa_context Mdqa_datalog Mdqa_hospital Mdqa_multidim Mdqa_relational Printf Query Tgd

@@ -1,0 +1,1 @@
+examples/telecom_quality.ml: Aggregate Chase Classes Dim_instance Dim_rule Dim_schema Format List Md_ontology Mdqa_context Mdqa_datalog Mdqa_multidim Mdqa_relational Mdqa_telecom Printf Query String

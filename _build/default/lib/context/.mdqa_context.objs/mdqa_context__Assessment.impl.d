@@ -1,0 +1,1 @@
+lib/context/assessment.ml: Context Format List Mdqa_relational

@@ -1,0 +1,1 @@
+lib/context/assessment.mli: Context Format Mdqa_relational

@@ -1,0 +1,1 @@
+lib/context/context.ml: Atom Chase Explain Format Hashtbl List Mdqa_datalog Mdqa_multidim Mdqa_relational Printf Program Query String Tgd

@@ -1,0 +1,1 @@
+lib/context/context.mli: Format Mdqa_datalog Mdqa_multidim Mdqa_relational

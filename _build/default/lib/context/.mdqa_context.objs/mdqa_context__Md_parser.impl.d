@@ -1,0 +1,1 @@
+lib/context/md_parser.ml: Atom Context Dim_instance Dim_rule Dim_schema Egd Fun Lexer List Md_ontology Md_schema Mdqa_datalog Mdqa_multidim Mdqa_relational Nc Option Parser Printf Query String Tgd

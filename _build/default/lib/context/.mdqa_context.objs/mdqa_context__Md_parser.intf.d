@@ -1,0 +1,1 @@
+lib/context/md_parser.mli: Context Mdqa_datalog Mdqa_multidim Mdqa_relational

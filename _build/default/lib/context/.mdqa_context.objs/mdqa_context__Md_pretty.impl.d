@@ -1,0 +1,1 @@
+lib/context/md_pretty.ml: Atom Buffer Context Dim_instance Dim_schema Format List Md_ontology Md_schema Mdqa_datalog Mdqa_multidim Mdqa_relational Pretty Printf String

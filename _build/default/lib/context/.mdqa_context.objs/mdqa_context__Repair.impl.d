@@ -1,0 +1,1 @@
+lib/context/repair.ml: Atom Context Egd Eval Format Hashtbl List Mdqa_datalog Mdqa_multidim Mdqa_relational Nc Printf Program Result String Subst Term

@@ -1,0 +1,1 @@
+lib/context/repair.mli: Context Format Mdqa_datalog Mdqa_relational

@@ -1,0 +1,63 @@
+module R = Mdqa_relational
+
+type relation_report = {
+  relation : string;
+  original_size : int;
+  quality_size : int;
+  kept : int;
+  removed : int;
+  added : int;
+  ratio : float;
+}
+
+let compare_relations ~original ~quality =
+  if R.Relation.arity original <> R.Relation.arity quality then
+    invalid_arg "Assessment.compare_relations: arity mismatch";
+  let o = R.Relation.to_set original and q = R.Relation.to_set quality in
+  let kept = R.Tuple.Set.cardinal (R.Tuple.Set.inter o q) in
+  let removed = R.Tuple.Set.cardinal (R.Tuple.Set.diff o q) in
+  let added = R.Tuple.Set.cardinal (R.Tuple.Set.diff q o) in
+  let original_size = R.Tuple.Set.cardinal o in
+  { relation = R.Relation.name original;
+    original_size;
+    quality_size = R.Tuple.Set.cardinal q;
+    kept;
+    removed;
+    added;
+    ratio =
+      (if original_size = 0 then 1.0
+       else float_of_int kept /. float_of_int original_size) }
+
+let quality_ratio ~original ~quality =
+  (compare_relations ~original ~quality).ratio
+
+let departure ~original ~quality =
+  let r = compare_relations ~original ~quality in
+  r.removed + r.added
+
+let report (a : Context.assessment) =
+  List.filter_map
+    (fun (orig_name, _) ->
+      match
+        ( R.Instance.find a.Context.source orig_name,
+          Context.quality_version a orig_name )
+      with
+      | Some original, Some quality
+        when R.Relation.arity original = R.Relation.arity quality ->
+        Some (compare_relations ~original ~quality)
+      | _ -> None)
+    a.Context.context.Context.quality_versions
+
+let pp_relation_report ppf r =
+  Format.fprintf ppf
+    "%s: %d tuples, %d up to quality (ratio %.2f), %d removed, %d added"
+    r.relation r.original_size r.kept r.ratio r.removed r.added
+
+let pp_report ppf rs =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_relation_report ppf r)
+    rs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,156 @@
+open Mdqa_datalog
+module R = Mdqa_relational
+module Md_ontology = Mdqa_multidim.Md_ontology
+
+type mapping = { source : string; target : string }
+
+type t = {
+  ontology : Md_ontology.t;
+  mappings : mapping list;
+  rules : Tgd.t list;
+  externals : R.Relation.t list;
+  quality_versions : (string * string) list;
+}
+
+let check_unique what names =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Context: duplicate %s %s" what n);
+      Hashtbl.add seen n ())
+    names
+
+let make ~ontology ?(mappings = []) ?(rules = []) ?(externals = [])
+    ?(quality_versions = []) () =
+  check_unique "mapping source" (List.map (fun m -> m.source) mappings);
+  check_unique "quality version" (List.map fst quality_versions);
+  { ontology; mappings; rules; externals; quality_versions }
+
+type assessment = {
+  context : t;
+  chase : Chase.result;
+  source : R.Instance.t;
+}
+
+let program t =
+  let p = Md_ontology.program t.ontology in
+  Program.make
+    ~tgds:(p.Program.tgds @ t.rules)
+    ~egds:p.Program.egds ~ncs:p.Program.ncs ()
+
+let prepare t ~source =
+  let inst = Md_ontology.instance t.ontology in
+  (* Externals. *)
+  List.iter
+    (fun e ->
+      let r = R.Instance.declare inst (R.Relation.schema e) in
+      R.Relation.iter (fun tup -> ignore (R.Relation.add r tup)) e)
+    t.externals;
+  (* Mapped copies of the original relations. *)
+  List.iter
+    (fun { source = s; target } ->
+      match R.Instance.find source s with
+      | None -> ()
+      | Some rel ->
+        let schema =
+          R.Rel_schema.make target
+            (R.Rel_schema.attributes (R.Relation.schema rel))
+        in
+        let copy = R.Instance.declare inst schema in
+        R.Relation.iter (fun tup -> ignore (R.Relation.add copy tup)) rel)
+    t.mappings;
+  inst
+
+let assess_prepared ?provenance ?max_steps ?max_nulls t ~source ~prepared =
+  let chase =
+    Chase.run ?provenance ?max_steps ?max_nulls (program t) prepared
+  in
+  { context = t; chase; source }
+
+let assess ?provenance ?max_steps ?max_nulls t ~source =
+  assess_prepared ?provenance ?max_steps ?max_nulls t ~source
+    ~prepared:(prepare t ~source)
+
+let assess_incremental ?max_steps ?max_nulls (a : assessment) ~added =
+  (* extend the original instance D *)
+  let source = R.Instance.copy a.source in
+  List.iter
+    (fun (rel, t) ->
+      match R.Instance.find source rel with
+      | Some r -> ignore (R.Relation.add r t)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "assess_incremental: unknown source relation %s" rel))
+    added;
+  (* new facts as seen by the context: the mapped copies *)
+  let delta =
+    List.concat_map
+      (fun (rel, t) ->
+        match
+          List.find_opt (fun (m : mapping) -> String.equal m.source rel)
+            a.context.mappings
+        with
+        | Some m -> [ (m.target, t) ]
+        | None -> [])
+      added
+  in
+  let chase =
+    Chase.extend ?max_steps ?max_nulls (program a.context) a.chase
+      ~facts:delta
+  in
+  { context = a.context; chase; source }
+
+let quality_version a name =
+  match List.assoc_opt name a.context.quality_versions with
+  | None -> None
+  | Some qpred ->
+    if a.chase.Chase.outcome <> Chase.Saturated then None
+    else (
+      match R.Instance.find a.chase.Chase.instance qpred with
+      | None -> None
+      | Some qrel ->
+        (* Present the null-free extension under the original schema
+           when available (same arity), else under the chased one. *)
+        let schema =
+          match R.Instance.find a.source name with
+          | Some orig_rel
+            when R.Relation.arity orig_rel = R.Relation.arity qrel ->
+            R.Rel_schema.make
+              (R.Rel_schema.name (R.Relation.schema qrel))
+              (R.Rel_schema.attributes (R.Relation.schema orig_rel))
+          | _ -> R.Relation.schema qrel
+        in
+        let out = R.Relation.create schema in
+        R.Relation.iter
+          (fun tup ->
+            if not (R.Tuple.has_null tup) then
+              ignore (R.Relation.add out tup))
+          qrel;
+        Some out)
+
+let rewrite_query t (q : Query.t) =
+  let subst_pred p =
+    match List.assoc_opt p t.quality_versions with
+    | Some qp -> qp
+    | None -> p
+  in
+  let body =
+    List.map (fun a -> Atom.make (subst_pred (Atom.pred a)) (Atom.args a))
+      q.Query.body
+  in
+  Query.make ~name:(q.Query.name ^ "_q") ~cmps:q.Query.cmps ~head:q.Query.head
+    body
+
+let clean_answers a q =
+  if a.chase.Chase.outcome <> Chase.Saturated then None
+  else
+    Some (Query.certain a.chase.Chase.instance (rewrite_query a.context q))
+
+let explain a name tuple =
+  match List.assoc_opt name a.context.quality_versions with
+  | None -> Error (Printf.sprintf "%s has no declared quality version" name)
+  | Some qpred -> Explain.why a.chase qpred tuple
+
+let pp_mapping ppf (m : mapping) =
+  Format.fprintf ppf "%s ↦ %s" m.source m.target

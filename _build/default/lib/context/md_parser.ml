@@ -1,0 +1,362 @@
+open Mdqa_datalog
+open Mdqa_multidim
+module R = Mdqa_relational
+module Raw = Parser.Raw
+
+type parsed = {
+  ontology : Md_ontology.t;
+  context : Context.t;
+  source : R.Instance.t;
+  queries : Query.t list;
+}
+
+exception Error of { line : int; message : string }
+
+(* Intermediate, pre-assembly representation of the declarations. *)
+type dim_decl = {
+  dim_name : string;
+  mutable cat_edges : (string * string) list;  (* child, parent *)
+  mutable standalone : string list;
+  mutable dmembers : (string * string) list;  (* member, category *)
+  mutable links : (string * string) list;  (* child member, parent member *)
+}
+
+type decls = {
+  mutable dims : dim_decl list;
+  mutable relations : R.Rel_schema.t list;
+  mutable sources : R.Rel_schema.t list;
+  mutable externals : R.Rel_schema.t list;
+  mutable maps : (string * string) list;
+  mutable qualities : (string * string) list;
+  mutable facts : Atom.t list;
+  mutable tgds : Tgd.t list;
+  mutable egds : Egd.t list;
+  mutable ncs : Nc.t list;
+  mutable queries : Query.t list;
+}
+
+let fail st message = Raw.error st message
+
+(* a name usable as a category / member / dimension *)
+let name_token st what =
+  match Raw.peek st with
+  | Lexer.VAR s, _ | Lexer.IDENT s, _ | Lexer.STRING s, _ ->
+    Raw.advance st;
+    s
+  | t, _ ->
+    fail st
+      (Printf.sprintf "expected %s, found %s" what (Lexer.token_to_string t))
+
+let dotted_category st =
+  let s = name_token st "Dimension.Category" in
+  match String.split_on_char '.' s with
+  | [ d; c ] when d <> "" && c <> "" -> (d, c)
+  | _ ->
+    fail st
+      (Printf.sprintf "expected Dimension.Category, found %S" s)
+
+let comma_list st parse_one =
+  let rec go acc =
+    let x = parse_one st in
+    match Raw.peek st with
+    | Lexer.COMMA, _ ->
+      Raw.advance st;
+      go (x :: acc)
+    | _ -> List.rev (x :: acc)
+  in
+  go []
+
+let keyword st = function
+  | Lexer.IDENT k -> (
+    match k with
+    | "dimension" | "relation" | "source" | "external" | "map" | "quality"
+    | "category" | "member" ->
+      (* a declaration only when not immediately a predicate call *)
+      (match Raw.peek2 st with Lexer.LPAREN -> None | _ -> Some k)
+    | _ -> None)
+  | _ -> None
+
+let parse_dimension st decls =
+  Raw.advance st (* 'dimension' *);
+  let dim_name = name_token st "a dimension name" in
+  Raw.expect st Lexer.LBRACE "'{'";
+  let d =
+    { dim_name; cat_edges = []; standalone = []; dmembers = []; links = [] }
+  in
+  let rec body () =
+    match Raw.peek st with
+    | Lexer.RBRACE, _ -> Raw.advance st
+    | Lexer.IDENT "category", _ ->
+      Raw.advance st;
+      let child = name_token st "a category name" in
+      (match Raw.peek st with
+       | Lexer.ARROW, _ ->
+         Raw.advance st;
+         let parents = comma_list st (fun st -> name_token st "a category") in
+         d.cat_edges <- d.cat_edges @ List.map (fun p -> (child, p)) parents
+       | _ -> d.standalone <- child :: d.standalone);
+      Raw.expect st Lexer.PERIOD "'.'";
+      body ()
+    | Lexer.IDENT "member", _ ->
+      Raw.advance st;
+      let m = name_token st "a member name" in
+      (match Raw.peek st with
+       | Lexer.IDENT "in", _ -> Raw.advance st
+       | t, _ ->
+         fail st
+           (Printf.sprintf "expected 'in', found %s"
+              (Lexer.token_to_string t)));
+      let cat = name_token st "a category" in
+      d.dmembers <- (m, cat) :: d.dmembers;
+      (match Raw.peek st with
+       | Lexer.ARROW, _ ->
+         Raw.advance st;
+         let parents = comma_list st (fun st -> name_token st "a member") in
+         d.links <- d.links @ List.map (fun p -> (m, p)) parents
+       | _ -> ());
+      Raw.expect st Lexer.PERIOD "'.'";
+      body ()
+    | t, _ ->
+      fail st
+        (Printf.sprintf
+           "expected 'category', 'member' or '}' in dimension body, found %s"
+           (Lexer.token_to_string t))
+  in
+  body ();
+  decls.dims <- decls.dims @ [ d ]
+
+let parse_relation st decls ~kind =
+  Raw.advance st (* 'relation' | 'source' | 'external' *);
+  let name =
+    match Raw.peek st with
+    | Lexer.IDENT n, _ ->
+      Raw.advance st;
+      n
+    | t, _ ->
+      fail st
+        (Printf.sprintf "expected a relation name, found %s"
+           (Lexer.token_to_string t))
+  in
+  Raw.expect st Lexer.LPAREN "'('";
+  let parse_attr st =
+    match Raw.peek st with
+    | Lexer.IDENT a, _ ->
+      Raw.advance st;
+      (match Raw.peek st with
+       | Lexer.IDENT "in", _ ->
+         Raw.advance st;
+         let dimension, category = dotted_category st in
+         R.Attribute.categorical a ~dimension ~category
+       | _ -> R.Attribute.plain a)
+    | t, _ ->
+      fail st
+        (Printf.sprintf "expected an attribute name, found %s"
+           (Lexer.token_to_string t))
+  in
+  let attrs = comma_list st parse_attr in
+  Raw.expect st Lexer.RPAREN "')'";
+  Raw.expect st Lexer.PERIOD "'.'";
+  let schema =
+    try R.Rel_schema.make name attrs
+    with Invalid_argument m -> fail st m
+  in
+  match kind with
+  | `Source -> decls.sources <- decls.sources @ [ schema ]
+  | `External -> decls.externals <- decls.externals @ [ schema ]
+  | `Relation -> decls.relations <- decls.relations @ [ schema ]
+
+let parse_wiring st decls ~quality =
+  Raw.advance st (* 'map' | 'quality' *);
+  let from = name_token st "a relation name" in
+  Raw.expect st Lexer.ARROW "'->'";
+  let target = name_token st "a predicate name" in
+  Raw.expect st Lexer.PERIOD "'.'";
+  if quality then decls.qualities <- decls.qualities @ [ (from, target) ]
+  else decls.maps <- decls.maps @ [ (from, target) ]
+
+let collect st =
+  let decls =
+    { dims = []; relations = []; sources = []; externals = []; maps = [];
+      qualities = []; facts = []; tgds = []; egds = []; ncs = [];
+      queries = [] }
+  in
+  let rec go () =
+    if not (Raw.at_eof st) then begin
+      (match keyword st (fst (Raw.peek st)) with
+       | Some "dimension" -> parse_dimension st decls
+       | Some "relation" -> parse_relation st decls ~kind:`Relation
+       | Some "source" -> parse_relation st decls ~kind:`Source
+       | Some "external" -> parse_relation st decls ~kind:`External
+       | Some "map" -> parse_wiring st decls ~quality:false
+       | Some "quality" -> parse_wiring st decls ~quality:true
+       | Some k ->
+         fail st (Printf.sprintf "'%s' is only allowed inside a dimension" k)
+       | None -> (
+         match Raw.statement st with
+         | Raw.S_fact f -> decls.facts <- decls.facts @ [ f ]
+         | Raw.S_tgd t -> decls.tgds <- decls.tgds @ [ t ]
+         | Raw.S_egd e -> decls.egds <- decls.egds @ [ e ]
+         | Raw.S_nc n -> decls.ncs <- decls.ncs @ [ n ]
+         | Raw.S_query q -> decls.queries <- decls.queries @ [ q ]));
+      go ()
+    end
+  in
+  go ();
+  decls
+
+let build decls ~(fail_at : string -> unit) =
+  (* [fail_at] always raises; the [assert false] is for typing only *)
+  let fail_at m =
+    fail_at m;
+    assert false
+  in
+  let wrap : 'a. (unit -> 'a) -> 'a =
+    fun f -> try f () with Invalid_argument m -> fail_at m
+  in
+  (* Dimensions. *)
+  let dim_schemas_and_instances =
+    List.map
+      (fun d ->
+        wrap (fun () ->
+            let edges =
+              d.cat_edges
+              @ List.filter_map
+                  (fun c ->
+                    if
+                      List.exists (fun (a, b) -> a = c || b = c) d.cat_edges
+                    then None
+                    else Some (c, Dim_schema.all))
+                  (List.rev d.standalone)
+            in
+            let schema = Dim_schema.make ~name:d.dim_name ~edges in
+            let members_by_cat =
+              List.fold_left
+                (fun acc (m, cat) ->
+                  let cur =
+                    Option.value ~default:[] (List.assoc_opt cat acc)
+                  in
+                  (cat, m :: cur) :: List.remove_assoc cat acc)
+                [] d.dmembers
+            in
+            let instance =
+              Dim_instance.make schema ~members:members_by_cat
+                ~links:(List.rev d.links)
+            in
+            (schema, instance)))
+      decls.dims
+  in
+  let dim_schemas = List.map fst dim_schemas_and_instances in
+  let dim_instances = List.map snd dim_schemas_and_instances in
+  let md_schema =
+    wrap (fun () ->
+        Md_schema.make ~dimensions:dim_schemas ~relations:decls.relations)
+  in
+  (* Known MD predicates: relations + generated category / parent-child
+     predicates. *)
+  let md_pred p =
+    Md_schema.relation md_schema p <> None
+    || Md_schema.category_of_pred md_schema p <> None
+    || Md_schema.parent_child_of_pred md_schema p <> None
+  in
+  let relation_named n =
+    List.find_opt (fun s -> R.Rel_schema.name s = n) decls.relations
+  in
+  let source_named n =
+    List.find_opt (fun s -> R.Rel_schema.name s = n) decls.sources
+  in
+  let external_named n =
+    List.find_opt (fun s -> R.Rel_schema.name s = n) decls.externals
+  in
+  (* Facts. *)
+  let data = R.Instance.create () in
+  let source = R.Instance.create () in
+  let externals = R.Instance.create () in
+  List.iter (fun s -> ignore (R.Instance.declare source s)) decls.sources;
+  List.iter (fun s -> ignore (R.Instance.declare externals s)) decls.externals;
+  List.iter
+    (fun f ->
+      let p = Atom.pred f in
+      let check_arity schema =
+        if R.Rel_schema.arity schema <> Atom.arity f then
+          fail_at (Printf.sprintf "fact arity mismatch for %s" p)
+      in
+      match relation_named p, source_named p, external_named p with
+      | Some schema, _, _ ->
+        check_arity schema;
+        ignore (R.Instance.declare data schema);
+        ignore (R.Instance.add_tuple data p (Atom.to_tuple f))
+      | None, Some schema, _ ->
+        check_arity schema;
+        ignore (R.Instance.add_tuple source p (Atom.to_tuple f))
+      | None, None, Some schema ->
+        check_arity schema;
+        ignore (R.Instance.add_tuple externals p (Atom.to_tuple f))
+      | None, None, None ->
+        fail_at
+          (Printf.sprintf
+             "fact over undeclared predicate %s (declare it with 'relation', \
+              'source' or 'external')"
+             p))
+    decls.facts;
+  (* Rules: dimensional when every predicate is an MD predicate. *)
+  let md_rules, ctx_rules =
+    List.partition
+      (fun (t : Tgd.t) ->
+        List.for_all md_pred (Tgd.body_preds t @ Tgd.head_preds t))
+      decls.tgds
+  in
+  List.iter
+    (fun (t : Tgd.t) ->
+      match Dim_rule.analyze md_schema t with
+      | Ok _ -> ()
+      | Error e ->
+        fail_at (Printf.sprintf "dimensional rule %s: %s" t.Tgd.name e))
+    md_rules;
+  List.iter
+    (fun (e : Egd.t) ->
+      if not (List.for_all md_pred (List.map Atom.pred e.Egd.body)) then
+        fail_at
+          (Printf.sprintf "EGD %s mentions non-dimensional predicates"
+             e.Egd.name))
+    decls.egds;
+  List.iter
+    (fun (n : Nc.t) ->
+      if not (List.for_all md_pred (List.map Atom.pred n.Nc.body)) then
+        fail_at
+          (Printf.sprintf "constraint %s mentions non-dimensional predicates"
+             n.Nc.name))
+    decls.ncs;
+  let ontology =
+    wrap (fun () ->
+        Md_ontology.make ~schema:md_schema ~dim_instances ~data
+          ~rules:md_rules ~egds:decls.egds ~ncs:decls.ncs ())
+  in
+  let context =
+    wrap (fun () ->
+        Context.make ~ontology
+          ~mappings:
+            (List.map
+               (fun (s, t) -> { Context.source = s; target = t })
+               decls.maps)
+          ~rules:ctx_rules
+          ~externals:(R.Instance.relations externals)
+          ~quality_versions:decls.qualities ())
+  in
+  { ontology; context; source; queries = decls.queries }
+
+let parse_string input =
+  try
+    let st = Raw.init input in
+    let decls = collect st in
+    let line = ref 0 in
+    ignore !line;
+    build decls ~fail_at:(fun m -> raise (Error { line = 0; message = m }))
+  with Parser.Error { line; message } -> raise (Error { line; message })
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))

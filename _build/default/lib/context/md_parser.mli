@@ -1,0 +1,70 @@
+(** Textual format for complete multidimensional quality contexts
+    (conventionally [.mdq] files).
+
+    The format extends the Datalog± surface syntax of
+    {!Mdqa_datalog.Parser} with declarations:
+
+    {v
+    % dimensions: categories (child -> parent) and members
+    dimension Hospital {
+      category Ward -> Unit.
+      category Unit -> Institution.
+      member "W1" in Ward -> "Standard".
+      member "Standard" in Unit -> "H1".
+      member "H1" in Institution.
+    }
+
+    % categorical relations: attributes typed by Dimension.Category
+    relation patient_ward(ward in Hospital.Ward, day in Time.Day, patient).
+
+    % the schema of a relation under assessment (the instance D)
+    source measurements(time, patient, value).
+
+    % a closed external source (Fig. 2's E_i)
+    external certified_nurses(nurse).
+
+    % context wiring: D-relation -> contextual copy / quality version
+    map measurements -> measurements_c.
+    quality measurements -> measurements_q.
+
+    % plus ordinary statements: facts, rules, constraints, queries
+    patient_ward("W1", "Sep/5", "Tom Waits").
+    patient_unit(U, D, P) :- patient_ward(W, D, P), unit_ward(U, W).
+    ! :- patient_ward(W, D, P), unit_ward("Intensive", W).
+    ?q(U) :- patient_unit(U, "Sep/5", "Tom Waits").
+    v}
+
+    Statement classification:
+    - facts over [relation]-declared predicates populate the ontology's
+      data; facts over [source]-declared predicates populate the
+      instance under assessment; facts over [external]-declared
+      predicates populate closed external sources injected into the
+      context; other facts are errors;
+    - TGDs whose predicates are all known to the MD schema must pass
+      {!Mdqa_multidim.Dim_rule.analyze} and become dimensional rules;
+      TGDs mentioning any other predicate become contextual rules;
+    - EGDs and negative constraints must be dimensional (all predicates
+      known to the MD schema);
+    - parent-child predicates are referred to by their generated names
+      ([unit_ward], [day_time], ...; see
+      {!Mdqa_multidim.Md_schema.parent_child_pred}).
+
+    Keywords ([dimension], [category], [member], [in], [relation],
+    [source], [map], [quality]) are only reserved in declaration
+    position; [->] must be surrounded by spaces. *)
+
+type parsed = {
+  ontology : Mdqa_multidim.Md_ontology.t;
+  context : Context.t;
+  source : Mdqa_relational.Instance.t;
+  queries : Mdqa_datalog.Query.t list;
+}
+
+exception Error of { line : int; message : string }
+
+val parse_string : string -> parsed
+(** @raise Error on syntax errors, unknown categories/dimensions,
+    invalid dimensional rules, or facts over undeclared predicates. *)
+
+val parse_file : string -> parsed
+(** @raise Sys_error on I/O failure; {!Error} as {!parse_string}. *)

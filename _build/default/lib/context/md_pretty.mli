@@ -1,0 +1,20 @@
+(** Serialization of multidimensional contexts back to the [.mdq]
+    format of {!Md_parser}.
+
+    [Md_parser.parse_string (Md_pretty.to_string ...)] reconstructs a
+    structurally equal context (rule names aside) — round-trip tested.
+    Useful for exporting programmatically-built ontologies (e.g. the
+    synthetic generators) into files the CLI can run. *)
+
+val ontology_to_string : Mdqa_multidim.Md_ontology.t -> string
+(** Dimensions, categorical relations, ontology data facts, dimensional
+    rules, EGDs and constraints. *)
+
+val context_to_string :
+  ?source:Mdqa_relational.Instance.t ->
+  ?queries:Mdqa_datalog.Query.t list ->
+  Context.t ->
+  string
+(** The full [.mdq] document: the ontology plus [source] schema
+    declarations and facts, [map]/[quality] wiring, contextual rules
+    and queries. *)

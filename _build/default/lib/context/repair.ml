@@ -1,0 +1,239 @@
+open Mdqa_datalog
+module R = Mdqa_relational
+module Md_ontology = Mdqa_multidim.Md_ontology
+
+type deletion = { relation : string; tuple : R.Tuple.t }
+
+type witness = {
+  constraint_name : string;
+  deletions : deletion list;
+}
+
+let deletion_compare a b =
+  let c = String.compare a.relation b.relation in
+  if c <> 0 then c else R.Tuple.compare a.tuple b.tuple
+
+let deletion_equal a b = deletion_compare a b = 0
+
+(* Ground instantiations of a constraint body that are deletable. *)
+let witness_of ~deletable ~name body subst =
+  let deletions =
+    List.filter_map
+      (fun atom ->
+        let ground = Subst.apply_atom subst atom in
+        if Atom.is_ground ground && deletable (Atom.pred ground) then
+          Some { relation = Atom.pred ground; tuple = Atom.to_tuple ground }
+        else None)
+      body
+    |> List.sort_uniq deletion_compare
+  in
+  { constraint_name = name; deletions }
+
+let violations (program : Program.t) inst ~deletable =
+  let idb = Program.idb_predicates program in
+  let derived_in body =
+    List.find_opt (fun a -> List.mem (Atom.pred a) idb) body
+  in
+  let ( let* ) = Result.bind in
+  let check_body ~name body collect =
+    match derived_in body with
+    | Some a ->
+      Error
+        (Printf.sprintf
+           "constraint %s involves derived predicate %s: deletions on the \
+            extensional data cannot repair it in general"
+           name (Atom.pred a))
+    | None -> Ok (collect ())
+  in
+  let* nc_witnesses =
+    List.fold_left
+      (fun acc (nc : Nc.t) ->
+        let* acc = acc in
+        let* ws =
+          check_body ~name:nc.Nc.name nc.Nc.body (fun () ->
+              List.map
+                (witness_of ~deletable ~name:nc.Nc.name nc.Nc.body)
+                (Eval.answers ~cmps:nc.Nc.cmps inst nc.Nc.body))
+        in
+        Ok (ws @ acc))
+      (Ok []) program.Program.ncs
+  in
+  let* egd_witnesses =
+    List.fold_left
+      (fun acc (egd : Egd.t) ->
+        let* acc = acc in
+        let* ws =
+          check_body ~name:egd.Egd.name egd.Egd.body (fun () ->
+              List.filter_map
+                (fun s ->
+                  match
+                    (Subst.apply_term s egd.Egd.lhs,
+                     Subst.apply_term s egd.Egd.rhs)
+                  with
+                  | Term.Const x, Term.Const y
+                    when (not (R.Value.equal x y))
+                         && R.Value.is_constant x && R.Value.is_constant y ->
+                    Some (witness_of ~deletable ~name:egd.Egd.name egd.Egd.body s)
+                  | _ -> None)
+                (Eval.answers inst egd.Egd.body))
+        in
+        Ok (ws @ acc))
+      (Ok []) program.Program.egds
+  in
+  let all = nc_witnesses @ egd_witnesses in
+  match List.find_opt (fun w -> w.deletions = []) all with
+  | Some w ->
+    Error
+      (Printf.sprintf
+         "violation of %s involves no deletable tuple: not repairable"
+         w.constraint_name)
+  | None ->
+    (* drop duplicate witnesses (same deletion options) *)
+    let key w = List.map (fun d -> (d.relation, d.tuple)) w.deletions in
+    let seen = Hashtbl.create 16 in
+    Ok
+      (List.filter
+         (fun w ->
+           let k = key w in
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.add seen k ();
+             true
+           end)
+         all)
+
+let hits deletion witness = List.exists (deletion_equal deletion) witness.deletions
+
+(* All minimal hitting sets via branching on the first uncovered
+   witness; non-minimal candidates are filtered at the end. *)
+let repairs ?(max_repairs = 64) witnesses =
+  let results = ref [] in
+  let budget = ref (max_repairs * 64) in
+  let rec go chosen remaining =
+    if !budget <= 0 then ()
+    else begin
+      decr budget;
+      match remaining with
+      | [] -> results := List.rev chosen :: !results
+      | w :: _ ->
+        List.iter
+          (fun d ->
+            if not (List.exists (deletion_equal d) chosen) then
+              let remaining' =
+                List.filter (fun w' -> not (hits d w')) remaining
+              in
+              go (d :: chosen) remaining')
+          w.deletions
+    end
+  in
+  go [] witnesses;
+  let as_sorted r = List.sort_uniq deletion_compare r in
+  let candidates =
+    List.sort_uniq compare (List.map as_sorted !results)
+  in
+  let subset a b = List.for_all (fun d -> List.exists (deletion_equal d) b) a in
+  let minimal =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun r' -> r' <> r && subset r' r)
+             candidates))
+      candidates
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  take max_repairs minimal
+
+let greedy_repair witnesses =
+  let rec go acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      (* pick the deletion hitting the most remaining witnesses *)
+      let best = ref None in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun d ->
+              let count =
+                List.length (List.filter (hits d) remaining)
+              in
+              match !best with
+              | Some (_, c) when c >= count -> ()
+              | _ -> best := Some (d, count))
+            w.deletions)
+        remaining;
+      (match !best with
+       | None -> List.rev acc
+       | Some (d, _) ->
+         go (d :: acc) (List.filter (fun w -> not (hits d w)) remaining))
+  in
+  go [] witnesses
+
+let apply inst deletions =
+  let out = R.Instance.copy inst in
+  List.iter
+    (fun d ->
+      match R.Instance.find out d.relation with
+      | Some rel -> ignore (R.Relation.remove rel d.tuple)
+      | None -> ())
+    deletions;
+  out
+
+(* The deletable predicates of a context: the ontology's categorical
+   relation data and the mapped copies — never dimension facts or
+   external sources. *)
+let context_deletable (ctx : Context.t) =
+  let data_preds =
+    List.map R.Relation.name
+      (R.Instance.relations ctx.Context.ontology.Md_ontology.data)
+  in
+  let mapped = List.map (fun m -> m.Context.target) ctx.Context.mappings in
+  fun pred -> List.mem pred data_preds || List.mem pred mapped
+
+let assess_repaired ?max_steps ?max_nulls ctx ~source =
+  let prepared = Context.prepare ctx ~source in
+  let program = Context.program ctx in
+  match violations program prepared ~deletable:(context_deletable ctx) with
+  | Error _ as e -> e
+  | Ok [] ->
+    Ok (Context.assess_prepared ?max_steps ?max_nulls ctx ~source ~prepared, [])
+  | Ok witnesses ->
+    let fix = greedy_repair witnesses in
+    let repaired = apply prepared fix in
+    Ok
+      ( Context.assess_prepared ?max_steps ?max_nulls ctx ~source
+          ~prepared:repaired,
+        fix )
+
+let cautious_answers ?max_repairs ?max_steps ?max_nulls ctx ~source q =
+  let prepared = Context.prepare ctx ~source in
+  let program = Context.program ctx in
+  match violations program prepared ~deletable:(context_deletable ctx) with
+  | Error _ as e -> e
+  | Ok witnesses ->
+    let deletion_sets =
+      match witnesses with [] -> [ [] ] | _ -> repairs ?max_repairs witnesses
+    in
+    let answer_sets =
+      List.map
+        (fun dels ->
+          let a =
+            Context.assess_prepared ?max_steps ?max_nulls ctx ~source
+              ~prepared:(apply prepared dels)
+          in
+          match Context.clean_answers a q with
+          | Some answers -> R.Tuple.Set.of_list answers
+          | None -> R.Tuple.Set.empty)
+        deletion_sets
+    in
+    (match answer_sets with
+     | [] -> Ok []
+     | first :: rest ->
+       Ok (R.Tuple.Set.elements (List.fold_left R.Tuple.Set.inter first rest)))
+
+let pp_deletion ppf d =
+  Format.fprintf ppf "%s%a" d.relation R.Tuple.pp d.tuple

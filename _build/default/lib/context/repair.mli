@@ -1,0 +1,77 @@
+(** Subset repairs for denial constraints.
+
+    The paper's Example 1 notes that the inter-dimensional constraint
+    "no patient was in intensive care after August 2005" means the
+    offending PatientWard tuple "should be discarded".  This module
+    implements that semantics: given the negative constraints of a
+    program, a {e repair} is a minimal set of deletions of {e deletable}
+    tuples (categorical relation data, mapped source copies — never the
+    fixed dimension facts) that removes every constraint violation, as
+    in consistent query answering (Bertossi 2011, the paper's [3]).
+
+    Scope: violations are detected on the extensional instance (before
+    TGD completion).  Constraints whose bodies mention a TGD-derived
+    predicate cannot be repaired by extensional deletions in general
+    and are rejected with [Error].  EGD violations between two
+    constants are treated as denial violations over the pair of
+    offending tuples. *)
+
+type deletion = { relation : string; tuple : Mdqa_relational.Tuple.t }
+
+type witness = {
+  constraint_name : string;
+  deletions : deletion list;
+      (** the deletable tuples of one violation; removing any one of
+          them resolves it *)
+}
+
+val violations :
+  Mdqa_datalog.Program.t ->
+  Mdqa_relational.Instance.t ->
+  deletable:(string -> bool) ->
+  (witness list, string) result
+(** All violation witnesses of the program's negative constraints and
+    EGDs over the instance.  [Error] if some constraint involves a
+    derived predicate, or if a violation has no deletable tuple at all
+    (it cannot be repaired by deletions). *)
+
+val repairs :
+  ?max_repairs:int ->
+  witness list ->
+  deletion list list
+(** All minimal hitting sets of the witnesses — each is the deletion
+    set of one subset repair.  At most [max_repairs] (default 64) are
+    returned; deterministic order. *)
+
+val greedy_repair : witness list -> deletion list
+(** One repair, greedily deleting the tuple covering the most unsolved
+    violations (not guaranteed minimum-cardinality, but minimal). *)
+
+val apply :
+  Mdqa_relational.Instance.t -> deletion list -> Mdqa_relational.Instance.t
+(** A fresh copy of the instance with the deletions applied. *)
+
+val assess_repaired :
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Context.t ->
+  source:Mdqa_relational.Instance.t ->
+  (Context.assessment * deletion list, string) result
+(** Like {!Context.assess}, but if the extensional data violates the
+    denial constraints, first discard a {!greedy_repair} of the
+    ontology's categorical data and the mapped copies, then assess.
+    Returns the assessment together with the discarded tuples. *)
+
+val cautious_answers :
+  ?max_repairs:int ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Context.t ->
+  source:Mdqa_relational.Instance.t ->
+  Mdqa_datalog.Query.t ->
+  (Mdqa_relational.Tuple.t list, string) result
+(** Consistent quality answers: quality answers that hold under {e
+    every} repair (the intersection over {!repairs}) — the
+    consistent-query-answering semantics the paper points to. *)
+
+val pp_deletion : Format.formatter -> deletion -> unit

@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Array Format Int List Mdqa_relational Printf String Term

@@ -1,0 +1,1 @@
+lib/datalog/chase.ml: Atom Egd Eval Format Hashtbl Lazy List Logs Mdqa_relational Nc Option Program Subst Term Tgd

@@ -1,0 +1,1 @@
+lib/datalog/chase.mli: Egd Format Hashtbl Mdqa_relational Nc Program Subst

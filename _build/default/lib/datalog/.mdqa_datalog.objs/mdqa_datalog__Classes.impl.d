@@ -1,0 +1,1 @@
+lib/datalog/classes.ml: Atom Format List Position_graph Program Set Stickiness Term Tgd

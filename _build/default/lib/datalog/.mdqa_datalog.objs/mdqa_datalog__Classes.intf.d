@@ -1,0 +1,1 @@
+lib/datalog/classes.mli: Format Program

@@ -1,0 +1,1 @@
+lib/datalog/containment.ml: Array Atom Eval List Mdqa_relational Printf Query String Subst Term

@@ -1,0 +1,1 @@
+lib/datalog/core_inst.ml: Atom Eval List Mdqa_relational Printf Term

@@ -1,0 +1,1 @@
+lib/datalog/core_inst.mli: Mdqa_relational

@@ -1,0 +1,1 @@
+lib/datalog/egd.ml: Atom Format List Printf Term

@@ -1,0 +1,1 @@
+lib/datalog/egd.mli: Atom Format Term

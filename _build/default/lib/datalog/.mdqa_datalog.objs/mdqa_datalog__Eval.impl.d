@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Atom List Mdqa_relational Option Subst Term Unify

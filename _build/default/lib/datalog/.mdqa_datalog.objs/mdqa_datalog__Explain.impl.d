@@ -1,0 +1,1 @@
+lib/datalog/explain.ml: Chase Format Hashtbl List Mdqa_relational Set String

@@ -1,0 +1,1 @@
+lib/datalog/explain.mli: Chase Format Mdqa_relational

@@ -1,0 +1,1 @@
+lib/datalog/nc.ml: Atom Format List Printf Term

@@ -1,0 +1,1 @@
+lib/datalog/nc.mli: Atom Format Term

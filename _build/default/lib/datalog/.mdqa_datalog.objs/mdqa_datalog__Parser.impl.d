@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Egd Fun Lexer List Mdqa_relational Nc Printf Program Query String Term Tgd

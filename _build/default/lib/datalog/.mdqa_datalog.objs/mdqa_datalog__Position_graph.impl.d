@@ -1,0 +1,1 @@
+lib/datalog/position_graph.ml: Atom Format List Map Option Program Set Term Tgd

@@ -1,0 +1,1 @@
+lib/datalog/position_graph.mli: Format Program

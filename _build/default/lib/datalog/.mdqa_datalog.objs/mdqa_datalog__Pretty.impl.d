@@ -1,0 +1,1 @@
+lib/datalog/pretty.ml: Atom Buffer Egd Format List Mdqa_relational Nc Printf Program Query String Term Tgd

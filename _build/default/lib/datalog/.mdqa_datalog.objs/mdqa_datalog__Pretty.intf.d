@@ -1,0 +1,1 @@
+lib/datalog/pretty.mli: Atom Egd Format Nc Program Query Term Tgd

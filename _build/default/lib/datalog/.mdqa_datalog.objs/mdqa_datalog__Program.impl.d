@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Egd Format Hashtbl List Map Mdqa_relational Nc Option Printf String Tgd

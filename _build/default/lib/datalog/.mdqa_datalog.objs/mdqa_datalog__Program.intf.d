@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Atom Egd Format Mdqa_relational Nc Tgd

@@ -1,0 +1,1 @@
+lib/datalog/proof.ml: Atom List Mdqa_relational Printf Program Query Subst Term Tgd Unify

@@ -1,0 +1,1 @@
+lib/datalog/proof.mli: Mdqa_relational Program Query

@@ -1,0 +1,1 @@
+lib/datalog/query.ml: Atom Chase Eval Format List Mdqa_relational Printf Program Subst Term

@@ -1,0 +1,1 @@
+lib/datalog/query.mli: Atom Chase Format Mdqa_relational Program Term

@@ -1,0 +1,1 @@
+lib/datalog/rewrite.ml: Atom Containment Format Hashtbl List Mdqa_relational Option Printf Program Query String Subst Term Tgd Unify

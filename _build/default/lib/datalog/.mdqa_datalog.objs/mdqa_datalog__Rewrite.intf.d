@@ -1,0 +1,1 @@
+lib/datalog/rewrite.mli: Format Mdqa_relational Program Query

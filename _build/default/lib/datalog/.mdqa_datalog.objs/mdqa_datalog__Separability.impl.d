@@ -1,0 +1,1 @@
+lib/datalog/separability.ml: Egd Format List Position_graph Program Set Term

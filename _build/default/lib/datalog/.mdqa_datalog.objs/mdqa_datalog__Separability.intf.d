@@ -1,0 +1,1 @@
+lib/datalog/separability.mli: Egd Format Program

@@ -1,0 +1,1 @@
+lib/datalog/stickiness.ml: Atom Hashtbl List Option Position_graph Program Set Term Tgd

@@ -1,0 +1,1 @@
+lib/datalog/stickiness.mli: Program Tgd

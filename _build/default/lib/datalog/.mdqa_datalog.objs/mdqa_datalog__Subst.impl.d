@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Array Atom Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/datalog/subst.mli: Atom Format Mdqa_relational Term

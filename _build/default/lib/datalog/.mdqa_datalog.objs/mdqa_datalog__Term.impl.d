@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Format Map Mdqa_relational Set String

@@ -1,0 +1,1 @@
+lib/datalog/tgd.ml: Atom Format Hashtbl List Option Printf String Term Unify

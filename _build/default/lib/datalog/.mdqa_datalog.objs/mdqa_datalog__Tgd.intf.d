@@ -1,0 +1,1 @@
+lib/datalog/tgd.mli: Atom Format Term

@@ -1,0 +1,1 @@
+lib/datalog/unify.ml: Atom List Mdqa_relational String Subst Term

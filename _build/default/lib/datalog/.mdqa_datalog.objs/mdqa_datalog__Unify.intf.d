@@ -1,0 +1,1 @@
+lib/datalog/unify.mli: Atom Subst Term

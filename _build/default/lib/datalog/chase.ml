@@ -1,0 +1,346 @@
+let log_src = Logs.Src.create "mdqa.chase" ~doc:"Datalog± chase engine"
+
+module Log = (val Logs.src_log log_src)
+
+module Instance = Mdqa_relational.Instance
+module Relation = Mdqa_relational.Relation
+module Tuple = Mdqa_relational.Tuple
+module Value = Mdqa_relational.Value
+
+type variant = Restricted | Oblivious
+
+type failure =
+  | Egd_clash of { egd : Egd.t; left : Value.t; right : Value.t }
+  | Nc_violation of { nc : Nc.t; witness : Subst.t }
+
+type outcome =
+  | Saturated
+  | Out_of_budget
+  | Failed of failure
+
+type stats = {
+  rounds : int;
+  tgd_fires : int;
+  triggers_checked : int;
+  nulls_created : int;
+  egd_merges : int;
+}
+
+type derivation = {
+  rule : string;
+  premises : (string * Tuple.t) list;
+}
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  stats : stats;
+  provenance : ((string * Tuple.t), derivation) Hashtbl.t option;
+}
+
+exception Stop of outcome
+
+(* Largest null label in the instance, so fresh nulls never collide. *)
+let max_null_id inst =
+  let m = ref 0 in
+  Instance.iter_facts
+    (fun _ t ->
+      List.iter
+        (function Value.Null k -> m := max !m k | _ -> ())
+        (Tuple.to_list t))
+    inst;
+  !m
+
+(* A trigger identity for the oblivious chase: rule name plus the image
+   of its body under the match. *)
+let trigger_key (tgd : Tgd.t) subst =
+  ( tgd.Tgd.name,
+    List.map
+      (fun a -> Atom.to_tuple (Subst.apply_atom subst a))
+      tgd.Tgd.body )
+
+let run_internal ?(variant = Restricted) ?(semi_naive = true)
+    ?(provenance = false) ?resume_delta ?prior_provenance
+    ?(max_steps = 1_000_000) ?(max_nulls = 100_000) program start =
+  let inst = Instance.copy start in
+  Program.declare_predicates program inst;
+  List.iter
+    (fun f -> ignore (Instance.add_tuple inst (Atom.pred f) (Atom.to_tuple f)))
+    program.Program.facts;
+  let fresh = Value.Fresh.create ~start:(max_null_id inst + 1) () in
+  let prov : ((string * Tuple.t), derivation) Hashtbl.t option =
+    match prior_provenance with
+    | Some tbl -> Some (Hashtbl.copy tbl)
+    | None -> if provenance then Some (Hashtbl.create 256) else None
+  in
+  let fired : (string * Tuple.t list, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rounds = ref 0
+  and tgd_fires = ref 0
+  and triggers_checked = ref 0
+  and egd_merges = ref 0 in
+  (* Delta of the previous round, per predicate. *)
+  let delta : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  let delta_mem pred t =
+    match Hashtbl.find_opt delta pred with
+    | Some s -> Tuple.Set.mem t s
+    | None -> false
+  in
+  let delta_tuples pred =
+    match Hashtbl.find_opt delta pred with
+    | Some s -> Tuple.Set.elements s
+    | None -> []
+  in
+  let check_budgets () =
+    if !triggers_checked > max_steps || Value.Fresh.count fresh > max_nulls
+    then raise (Stop Out_of_budget)
+  in
+
+  (* Instantiate the head of [tgd] under [subst], inventing fresh nulls
+     for existential variables; returns the ground head atoms. *)
+  let instantiate_head (tgd : Tgd.t) subst =
+    let subst =
+      Term.Var_set.fold
+        (fun v s -> Subst.bind_exn s v (Term.Const (Value.Fresh.next fresh)))
+        (Tgd.existential_vars tgd) subst
+    in
+    List.map (Subst.apply_atom subst) tgd.Tgd.head
+  in
+
+  (* Restricted-chase applicability: is there an extension of the match
+     sending every head atom into the instance? *)
+  let head_satisfied (tgd : Tgd.t) subst =
+    Eval.exists inst (List.map (Subst.apply_atom subst) tgd.Tgd.head)
+  in
+
+  let fire_trigger added (tgd : Tgd.t) subst =
+    incr triggers_checked;
+    check_budgets ();
+    let proceed =
+      match variant with
+      | Restricted -> not (head_satisfied tgd subst)
+      | Oblivious ->
+        let key = trigger_key tgd subst in
+        if Hashtbl.mem fired key then false
+        else begin
+          Hashtbl.add fired key ();
+          true
+        end
+    in
+    if proceed then begin
+      let head = instantiate_head tgd subst in
+      let new_fact = ref false in
+      let premises =
+        lazy
+          (List.map
+             (fun a ->
+               let ga = Subst.apply_atom subst a in
+               (Atom.pred ga, Atom.to_tuple ga))
+             tgd.Tgd.body)
+      in
+      List.iter
+        (fun a ->
+          let t = Atom.to_tuple a in
+          if Instance.add_tuple inst (Atom.pred a) t then begin
+            new_fact := true;
+            (match prov with
+             | Some tbl ->
+               if not (Hashtbl.mem tbl (Atom.pred a, t)) then
+                 Hashtbl.replace tbl (Atom.pred a, t)
+                   { rule = tgd.Tgd.name; premises = Lazy.force premises }
+             | None -> ());
+            let prev =
+              Option.value ~default:Tuple.Set.empty
+                (Hashtbl.find_opt added (Atom.pred a))
+            in
+            Hashtbl.replace added (Atom.pred a) (Tuple.Set.add t prev)
+          end)
+        head;
+      if !new_fact then incr tgd_fires
+    end
+  in
+
+  (* Enforce EGDs to fixpoint.  Returns true if any value was merged
+     (in which case semi-naive deltas are no longer valid). *)
+  let rec apply_egds merged =
+    let violation =
+      List.find_map
+        (fun (egd : Egd.t) ->
+          List.find_map
+            (fun s ->
+              let a = Subst.apply_term s egd.Egd.lhs
+              and b = Subst.apply_term s egd.Egd.rhs in
+              match a, b with
+              | Term.Const x, Term.Const y when not (Value.equal x y) ->
+                Some (egd, x, y)
+              | _ -> None)
+            (Eval.answers inst egd.Egd.body))
+        program.Program.egds
+    in
+    match violation with
+    | None -> merged
+    | Some (egd, x, y) ->
+      let replace ~from ~into =
+        Instance.map_values inst (fun v ->
+            if Value.equal v from then into else v);
+        (* keep recorded provenance keyed by the merged facts *)
+        match prov with
+        | None -> ()
+        | Some tbl ->
+          let remap_tuple t =
+            Tuple.map (fun v -> if Value.equal v from then into else v) t
+          in
+          let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+          Hashtbl.reset tbl;
+          List.iter
+            (fun ((pred, t), d) ->
+              Hashtbl.replace tbl
+                (pred, remap_tuple t)
+                { d with
+                  premises =
+                    List.map
+                      (fun (p', t') -> (p', remap_tuple t'))
+                      d.premises })
+            entries
+      in
+      (match Value.is_null x, Value.is_null y with
+       | true, _ -> replace ~from:x ~into:y
+       | false, true -> replace ~from:y ~into:x
+       | false, false ->
+         raise (Stop (Failed (Egd_clash { egd; left = x; right = y }))));
+      incr egd_merges;
+      Log.debug (fun m ->
+          m "EGD %s merged %a into %a" egd.Egd.name Value.pp x Value.pp y);
+      apply_egds true
+  in
+
+  let check_ncs () =
+    List.iter
+      (fun (nc : Nc.t) ->
+        match Eval.first ~cmps:nc.Nc.cmps inst nc.Nc.body with
+        | Some witness ->
+          Log.info (fun m ->
+              m "constraint %s violated under %a" nc.Nc.name Subst.pp witness);
+          raise (Stop (Failed (Nc_violation { nc; witness })))
+        | None -> ())
+      program.Program.ncs
+  in
+
+  let outcome =
+    try
+      (* EGDs and NCs must hold of the extensional data too. *)
+      let merged0 = apply_egds false in
+      if merged0 then Hashtbl.reset delta;
+      check_ncs ();
+      let continue = ref true in
+      let first_round = ref true in
+      (* Incremental mode: seed the delta with the resumed facts and
+         start semi-naive immediately. *)
+      (match resume_delta with
+       | Some new_facts when semi_naive ->
+         List.iter
+           (fun (pred, t) ->
+             ignore (Instance.add_tuple inst pred t);
+             let prev =
+               Option.value ~default:Tuple.Set.empty
+                 (Hashtbl.find_opt delta pred)
+             in
+             Hashtbl.replace delta pred (Tuple.Set.add t prev))
+           new_facts;
+         first_round := false
+       | Some new_facts ->
+         List.iter
+           (fun (pred, t) -> ignore (Instance.add_tuple inst pred t))
+           new_facts
+       | None -> ());
+      while !continue do
+        incr rounds;
+        Log.debug (fun m ->
+            m "round %d (%d facts so far)" !rounds
+              (Instance.total_tuples inst));
+        let added : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (tgd : Tgd.t) ->
+            let triggers =
+              if semi_naive && not !first_round then
+                Eval.delta_answers inst ~delta:delta_mem ~delta_tuples
+                  tgd.Tgd.body
+              else Eval.answers inst tgd.Tgd.body
+            in
+            (* For the restricted chase, matches differing only on
+               head-irrelevant body variables are the same trigger;
+               dedup on the frontier to avoid redundant head checks.
+               The oblivious chase fires per full body match. *)
+            let key_vars =
+              match variant with
+              | Restricted -> Tgd.frontier tgd
+              | Oblivious -> Tgd.body_vars tgd
+            in
+            let seen = Hashtbl.create 16 in
+            List.iter
+              (fun s ->
+                let key =
+                  List.filter_map
+                    (fun v -> Subst.value_of s v)
+                    (Term.Var_set.elements key_vars)
+                in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  fire_trigger added tgd s
+                end)
+              triggers)
+          program.Program.tgds;
+        let merged = apply_egds false in
+        check_ncs ();
+        let grew = Hashtbl.length added > 0 in
+        if merged then begin
+          (* Null merges invalidate deltas: fall back to full
+             enumeration next round. *)
+          Hashtbl.reset delta;
+          first_round := true;
+          continue := true
+        end
+        else begin
+          Hashtbl.reset delta;
+          Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) added;
+          first_round := false;
+          continue := grew
+        end
+      done;
+      Saturated
+    with Stop o -> o
+  in
+  { instance = inst;
+    outcome;
+    provenance = prov;
+    stats =
+      { rounds = !rounds;
+        tgd_fires = !tgd_fires;
+        triggers_checked = !triggers_checked;
+        nulls_created = Value.Fresh.count fresh;
+        egd_merges = !egd_merges } }
+
+let run ?variant ?semi_naive ?provenance ?max_steps ?max_nulls program start =
+  run_internal ?variant ?semi_naive ?provenance ?max_steps ?max_nulls program
+    start
+
+let extend ?max_steps ?max_nulls program (prior : result) ~facts =
+  match prior.outcome with
+  | Saturated ->
+    run_internal ~resume_delta:facts ?prior_provenance:prior.provenance
+      ?max_steps ?max_nulls program prior.instance
+  | _ ->
+    let inst = Instance.copy prior.instance in
+    List.iter (fun (pred, t) -> ignore (Instance.add_tuple inst pred t)) facts;
+    run_internal ?max_steps ?max_nulls
+      ~provenance:(prior.provenance <> None)
+      program inst
+
+let pp_outcome ppf = function
+  | Saturated -> Format.pp_print_string ppf "saturated"
+  | Out_of_budget -> Format.pp_print_string ppf "out of budget"
+  | Failed (Egd_clash { egd; left; right }) ->
+    Format.fprintf ppf "failed: EGD %s equates distinct constants %a and %a"
+      egd.Egd.name Value.pp left Value.pp right
+  | Failed (Nc_violation { nc; witness }) ->
+    Format.fprintf ppf "failed: constraint %s violated under %a" nc.Nc.name
+      Subst.pp witness

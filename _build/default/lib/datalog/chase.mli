@@ -1,0 +1,98 @@
+(** The Datalog± chase.
+
+    Starting from an extensional instance, TGDs are fired to generate
+    missing data (inventing labeled nulls for existential variables),
+    EGDs are enforced by equating values (merging nulls, failing on a
+    constant clash), and negative constraints are checked.
+
+    Two variants are provided:
+
+    - {e restricted} (standard) chase: a TGD fires on a body match only
+      if no extension of the match already satisfies its head in the
+      current instance;
+    - {e oblivious} chase: every body match fires exactly once,
+      regardless of head satisfaction (kept for the ablation benchmark:
+      it invents many more nulls).
+
+    Trigger enumeration is semi-naive by default: after the first
+    round, only matches involving a fact derived in the previous round
+    are considered.
+
+    For weakly-sticky programs over a fixed dimensional structure the
+    chase terminates; step and null budgets are enforced regardless, so
+    a non-terminating rule set surfaces as [Out_of_budget] instead of a
+    hang. *)
+
+type variant = Restricted | Oblivious
+
+type failure =
+  | Egd_clash of {
+      egd : Egd.t;
+      left : Mdqa_relational.Value.t;
+      right : Mdqa_relational.Value.t;
+    }  (** an EGD tried to equate two distinct constants *)
+  | Nc_violation of { nc : Nc.t; witness : Subst.t }
+      (** a negative constraint has a match *)
+
+type outcome =
+  | Saturated  (** fixpoint reached, all constraints satisfied *)
+  | Out_of_budget  (** step or null budget exhausted *)
+  | Failed of failure
+
+type stats = {
+  rounds : int;
+  tgd_fires : int;  (** number of TGD applications that added facts *)
+  triggers_checked : int;
+  nulls_created : int;
+  egd_merges : int;
+}
+
+type derivation = {
+  rule : string;  (** name of the TGD that produced the fact *)
+  premises : (string * Mdqa_relational.Tuple.t) list;
+      (** the instantiated body facts of the firing *)
+}
+
+type result = {
+  instance : Mdqa_relational.Instance.t;
+      (** the chased instance (meaningful even on failure: the state at
+          the point of failure) *)
+  outcome : outcome;
+  stats : stats;
+  provenance : ((string * Mdqa_relational.Tuple.t), derivation) Hashtbl.t option;
+      (** when requested: for every fact {e derived} by a TGD firing,
+          its first derivation.  Facts absent from the table are
+          extensional.  EGD merges remap recorded facts consistently. *)
+}
+
+val run :
+  ?variant:variant ->
+  ?semi_naive:bool ->
+  ?provenance:bool ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Program.t ->
+  Mdqa_relational.Instance.t ->
+  result
+(** [run program instance] chases a {e copy} of [instance] (merged with
+    the program's bundled facts); the input is never mutated.
+    Defaults: [Restricted], semi-naive on, no provenance, 1_000_000
+    steps, 100_000 nulls. *)
+
+val extend :
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Program.t ->
+  result ->
+  facts:(string * Mdqa_relational.Tuple.t) list ->
+  result
+(** Incremental chase: add [facts] to an already-saturated chase result
+    and continue semi-naive rounds with exactly those facts as the
+    initial delta — the work is proportional to the consequences of the
+    new facts, not to the whole instance.  The given result's instance
+    is not mutated; its provenance table (if any) is carried over and
+    extended.  Precondition: [result] was produced by {!run} on the
+    same program and is [Saturated] (otherwise the outcome of a full
+    {!run} is returned instead). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,110 @@
+module Pos_set = Set.Make (struct
+  type t = string * int
+  let compare = compare
+end)
+
+let is_linear (p : Program.t) =
+  List.for_all (fun (t : Tgd.t) -> List.length t.Tgd.body = 1) p.Program.tgds
+
+let guard_exists (tgd : Tgd.t) ~must_cover =
+  Term.Var_set.is_empty must_cover
+  || List.exists
+       (fun a -> Term.Var_set.subset must_cover (Atom.vars a))
+       tgd.Tgd.body
+
+let is_guarded (p : Program.t) =
+  List.for_all
+    (fun (tgd : Tgd.t) -> guard_exists tgd ~must_cover:(Tgd.body_vars tgd))
+    p.Program.tgds
+
+let is_weakly_guarded (p : Program.t) =
+  let g = Position_graph.build p in
+  let affected = Pos_set.of_list (Position_graph.affected_positions g) in
+  List.for_all
+    (fun (tgd : Tgd.t) ->
+      (* Variables occurring only at affected positions in the body. *)
+      let must_cover =
+        Term.Var_set.filter
+          (fun v ->
+            let pos =
+              List.concat_map
+                (fun a ->
+                  List.map
+                    (fun i -> (Atom.pred a, i))
+                    (Atom.var_positions a v))
+                tgd.Tgd.body
+            in
+            pos <> [] && List.for_all (fun q -> Pos_set.mem q affected) pos)
+          (Tgd.body_vars tgd)
+      in
+      guard_exists tgd ~must_cover)
+    p.Program.tgds
+
+let is_sticky = Stickiness.is_sticky
+let is_weakly_sticky = Stickiness.is_weakly_sticky
+
+let is_weakly_acyclic p =
+  Position_graph.is_weakly_acyclic (Position_graph.build p)
+
+let is_warded (p : Program.t) =
+  let g = Position_graph.build p in
+  let affected = Pos_set.of_list (Position_graph.affected_positions g) in
+  List.for_all
+    (fun (tgd : Tgd.t) ->
+      let positions_of v =
+        List.concat_map
+          (fun a ->
+            List.map (fun i -> (Atom.pred a, i)) (Atom.var_positions a v))
+          tgd.Tgd.body
+      in
+      let harmful v =
+        let pos = positions_of v in
+        pos <> [] && List.for_all (fun q -> Pos_set.mem q affected) pos
+      in
+      let dangerous =
+        Term.Var_set.filter
+          (fun v -> harmful v && Term.Var_set.mem v (Tgd.head_vars tgd))
+          (Tgd.body_vars tgd)
+      in
+      Term.Var_set.is_empty dangerous
+      || List.exists
+           (fun ward ->
+             Term.Var_set.subset dangerous (Atom.vars ward)
+             && List.for_all
+                  (fun other ->
+                    other == ward
+                    || Term.Var_set.for_all
+                         (fun v -> not (harmful v))
+                         (Term.Var_set.inter (Atom.vars ward)
+                            (Atom.vars other)))
+                  tgd.Tgd.body)
+           tgd.Tgd.body)
+    p.Program.tgds
+
+type report = {
+  linear : bool;
+  guarded : bool;
+  weakly_guarded : bool;
+  sticky : bool;
+  weakly_sticky : bool;
+  weakly_acyclic : bool;
+  warded : bool;
+}
+
+let classify p =
+  { linear = is_linear p;
+    guarded = is_guarded p;
+    weakly_guarded = is_weakly_guarded p;
+    sticky = is_sticky p;
+    weakly_sticky = is_weakly_sticky p;
+    weakly_acyclic = is_weakly_acyclic p;
+    warded = is_warded p }
+
+let pp_report ppf r =
+  let yn b = if b then "yes" else "no" in
+  Format.fprintf ppf
+    "@[<v>linear:          %s@,guarded:         %s@,weakly guarded:  \
+     %s@,sticky:          %s@,weakly sticky:   %s@,weakly acyclic:  \
+     %s@,warded:          %s@]"
+    (yn r.linear) (yn r.guarded) (yn r.weakly_guarded) (yn r.sticky)
+    (yn r.weakly_sticky) (yn r.weakly_acyclic) (yn r.warded)

@@ -1,0 +1,44 @@
+(** Membership tests for the syntactic classes of the Datalog± family
+    discussed in the paper (§II–III), plus a one-shot classification
+    report used by the [report classes] experiment (C1).
+
+    The inclusions relevant here: linear ⊆ guarded ⊆ weakly guarded,
+    sticky ⊆ weakly sticky, and weakly acyclic ⊆ weakly sticky (every
+    position has finite rank, so repeated marked variables are always
+    at ∏_F positions). *)
+
+val is_linear : Program.t -> bool
+(** Every TGD has a single body atom. *)
+
+val is_guarded : Program.t -> bool
+(** Every TGD has a body atom containing all its body variables. *)
+
+val is_weakly_guarded : Program.t -> bool
+(** Every TGD has a body atom containing all body variables that occur
+    only at affected positions. *)
+
+val is_sticky : Program.t -> bool
+val is_weakly_sticky : Program.t -> bool
+val is_weakly_acyclic : Program.t -> bool
+
+val is_warded : Program.t -> bool
+(** Warded Datalog± (Gottlob–Pieris; the Vadalog core): call a body
+    variable {e harmful} when every body occurrence is at an affected
+    position, and {e dangerous} when it is harmful and propagates to
+    the head.  A program is warded when, per rule, all dangerous
+    variables occur together in one body atom (the {e ward}) that
+    shares only harmless variables with the rest of the body. *)
+
+type report = {
+  linear : bool;
+  guarded : bool;
+  weakly_guarded : bool;
+  sticky : bool;
+  weakly_sticky : bool;
+  weakly_acyclic : bool;
+  warded : bool;
+}
+
+val classify : Program.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,31 @@
+(** Core computation for chased instances.
+
+    The chase produces a universal model that may contain redundant
+    labeled nulls — e.g. the oblivious chase re-derives facts already
+    witnessed by extensional data.  The {e core} is the smallest
+    instance homomorphically equivalent to it; certain answers are
+    unchanged but the instance (and every null in it) is necessary.
+
+    Implementation: greedy retraction by single-null folding — find a
+    null [n] and a value [v] (constant or other null) such that
+    substituting [v] for [n] maps the instance into itself, apply, and
+    repeat to fixpoint.  This reaches the core in the common cases (in
+    particular whenever redundant nulls can be eliminated one at a
+    time); in pathological cases needing simultaneous substitutions the
+    result is still a sound retract: homomorphically equivalent and no
+    larger.  The result is tested to be hom-equivalent to the input. *)
+
+val compute :
+  ?max_folds:int -> Mdqa_relational.Instance.t -> Mdqa_relational.Instance.t
+(** A retract of the instance with redundant nulls folded away.  The
+    input is not mutated.  [max_folds] bounds the number of folding
+    steps (default 10_000). *)
+
+val hom_equivalent :
+  Mdqa_relational.Instance.t -> Mdqa_relational.Instance.t -> bool
+(** Do homomorphisms exist in both directions (treating labeled nulls
+    as variables and constants as rigid)?  Used by the tests to verify
+    {!compute}. *)
+
+val null_count : Mdqa_relational.Instance.t -> int
+(** Number of distinct labeled nulls in the instance. *)

@@ -1,0 +1,52 @@
+(** Evaluation of conjunctive atom lists over an instance.
+
+    This is the workhorse shared by conjunctive-query answering, TGD
+    trigger enumeration, and EGD / negative-constraint checking: find
+    all substitutions θ such that every atom of the body, instantiated
+    by θ, is a fact of the instance, and every comparison holds.
+
+    Evaluation performs an index-backed backtracking join: atoms are
+    matched left to right, each candidate set retrieved through
+    {!Mdqa_relational.Relation.scan} with the positions already bound.
+    Atoms are reordered greedily at each step to bind the most
+    selective atom first. *)
+
+val answers :
+  ?cmps:Atom.Cmp.t list ->
+  Mdqa_relational.Instance.t ->
+  Atom.t list ->
+  Subst.t list
+(** All matching substitutions (deterministic order, no duplicates
+    modulo the body's variables).  Comparisons are applied as soon as
+    both sides are ground.  Atoms over predicates absent from the
+    instance yield no answers. *)
+
+val exists :
+  ?cmps:Atom.Cmp.t list ->
+  Mdqa_relational.Instance.t ->
+  Atom.t list ->
+  bool
+(** Is there at least one match? (short-circuiting) *)
+
+val first :
+  ?cmps:Atom.Cmp.t list ->
+  Mdqa_relational.Instance.t ->
+  Atom.t list ->
+  Subst.t option
+
+val holds_fact : Mdqa_relational.Instance.t -> Atom.t -> bool
+(** Ground-atom membership. @raise Invalid_argument on non-ground. *)
+
+val delta_answers :
+  ?cmps:Atom.Cmp.t list ->
+  Mdqa_relational.Instance.t ->
+  delta:(string -> Mdqa_relational.Tuple.t -> bool) ->
+  ?delta_tuples:(string -> Mdqa_relational.Tuple.t list) ->
+  Atom.t list ->
+  Subst.t list
+(** Like {!answers} but keeps only matches in which at least one body
+    atom is instantiated to a fact satisfying [delta] — the semi-naive
+    restriction used by the chase to enumerate only new triggers.  When
+    [delta_tuples] lists the delta per predicate, the delta-constrained
+    atom is evaluated directly over that list instead of scanning the
+    relation, making small-delta rounds proportional to the delta. *)

@@ -1,0 +1,81 @@
+module Tuple = Mdqa_relational.Tuple
+module Instance = Mdqa_relational.Instance
+module Relation = Mdqa_relational.Relation
+
+type tree = {
+  fact : string * Tuple.t;
+  rule : string option;
+  premises : tree list;
+}
+
+module Fact_set = Set.Make (struct
+  type t = string * Tuple.t
+  let compare (p1, t1) (p2, t2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c else Tuple.compare t1 t2
+end)
+
+let why (result : Chase.result) pred tuple =
+  match result.Chase.provenance with
+  | None -> Error "chase was run without ~provenance:true"
+  | Some tbl ->
+    let in_instance (p, t) =
+      match Instance.find result.Chase.instance p with
+      | Some rel -> Relation.mem rel t
+      | None -> false
+    in
+    if not (in_instance (pred, tuple)) then
+      Error
+        (Format.asprintf "%s%a is not in the chased instance" pred Tuple.pp
+           tuple)
+    else begin
+      (* the provenance table is acyclic by construction (a derivation
+         only references facts present before the firing), but guard
+         against pathological EGD remappings with a visited set *)
+      let rec build visited fact =
+        if Fact_set.mem fact visited then
+          { fact; rule = None; premises = [] }
+        else
+          match Hashtbl.find_opt tbl fact with
+          | None -> { fact; rule = None; premises = [] }
+          | Some d ->
+            let visited = Fact_set.add fact visited in
+            { fact;
+              rule = Some d.Chase.rule;
+              premises = List.map (build visited) d.Chase.premises }
+      in
+      Ok (build Fact_set.empty (pred, tuple))
+    end
+
+let rec depth t =
+  match t.rule with
+  | None -> 0
+  | Some _ -> 1 + List.fold_left (fun m p -> max m (depth p)) 0 t.premises
+
+let rules_used t =
+  let rec go acc t =
+    let acc = match t.rule with Some r -> r :: acc | None -> acc in
+    List.fold_left go acc t.premises
+  in
+  List.sort_uniq String.compare (go [] t)
+
+let extensional_support t =
+  let rec go acc t =
+    match t.rule with
+    | None -> Fact_set.add t.fact acc
+    | Some _ -> List.fold_left go acc t.premises
+  in
+  Fact_set.elements (go Fact_set.empty t)
+
+let pp ppf tree =
+  let rec go indent t =
+    let pred, tuple = t.fact in
+    Format.fprintf ppf "%s%s%a   %s@," indent pred Tuple.pp tuple
+      (match t.rule with
+       | Some r -> "[" ^ r ^ "]"
+       | None -> "(extensional)");
+    List.iter (go (indent ^ "  ")) t.premises
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" tree;
+  Format.fprintf ppf "@]"

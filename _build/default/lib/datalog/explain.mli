@@ -1,0 +1,40 @@
+(** Derivation trees: why is a fact in the chased instance?
+
+    Built from the provenance recorded by
+    [Chase.run ~provenance:true ...].  In a quality-assessment context
+    this answers "why was this measurement deemed up to quality": the
+    tree bottoms out in extensional facts (the recorded data, the
+    dimension structure) and each internal node names the dimensional
+    or contextual rule that fired. *)
+
+type tree = {
+  fact : string * Mdqa_relational.Tuple.t;
+  rule : string option;
+      (** [None] for extensional facts, [Some rule_name] otherwise *)
+  premises : tree list;
+}
+
+val why :
+  Chase.result -> string -> Mdqa_relational.Tuple.t -> (tree, string) result
+(** [why result pred tuple] reconstructs the derivation of the fact.
+    [Error] if the chase was run without provenance or the fact is not
+    in the chased instance. *)
+
+val depth : tree -> int
+(** Longest rule chain in the tree (an extensional fact has depth 0). *)
+
+val rules_used : tree -> string list
+(** Rule names appearing in the tree, deduplicated, sorted. *)
+
+val extensional_support : tree -> (string * Mdqa_relational.Tuple.t) list
+(** The extensional leaves the fact ultimately rests on (deduplicated,
+    sorted). *)
+
+val pp : Format.formatter -> tree -> unit
+(** Indented rendering:
+    {v
+    measurements_q(Sep/5-12:10, Tom Waits, 38.2)   [measurements_q]
+      measurements_ext(...)                        [measurements_ext]
+        measurements_c(...)                        (extensional)
+        ...
+    v} *)

@@ -1,0 +1,177 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE
+  | BANG
+  | QMARK
+  | LBRACE
+  | RBRACE
+  | ARROW
+  | COLON
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { line : int; col : int; message : string }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+(* Identifier continuation characters; '.' is handled separately so a
+   trailing period terminates the clause instead of gluing on. *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '/' || c = ':'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens input =
+  let n = String.length input in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let fail i message =
+    raise (Error { line = !line; col = i - !line_start + 1; message })
+  in
+  let out = ref [] in
+  let emit t = out := (t, !line) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      line_start := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' || c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '!' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit NEQ; i := !i + 2)
+      else (emit BANG; incr i)
+    else if c = '?' then (emit QMARK; incr i)
+    else if c = '=' then (emit EQ; incr i)
+    else if c = '<' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit LE; i := !i + 2)
+      else (emit LT; incr i)
+    else if c = '>' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit GE; i := !i + 2)
+      else (emit GT; incr i)
+    else if c = ':' then
+      if !i + 1 < n && input.[!i + 1] = '-' then (emit TURNSTILE; i := !i + 2)
+      else (emit COLON; incr i)
+    else if c = '{' then (emit LBRACE; incr i)
+    else if c = '}' then (emit RBRACE; incr i)
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then
+      (emit ARROW; i := !i + 2)
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if input.[!j] = '"' then
+          if !j + 1 < n && input.[!j + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buf input.[!j];
+          incr j
+        end
+      done;
+      if not !closed then fail !i "unterminated string";
+      emit (STRING (Buffer.contents buf));
+      i := !j
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
+    then begin
+      let j = ref !i in
+      if input.[!j] = '-' then incr j;
+      while !j < n && is_digit input.[!j] do
+        incr j
+      done;
+      let is_float =
+        !j + 1 < n && input.[!j] = '.' && is_digit input.[!j + 1]
+      in
+      if is_float then begin
+        incr j;
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done
+      end;
+      let text = String.sub input !i (!j - !i) in
+      if is_float then emit (FLOAT (float_of_string text))
+      else emit (INT (int_of_string text));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while
+        !j < n
+        && (is_ident_char input.[!j]
+           (* a '.' inside an identifier is kept only when followed by
+              another identifier character (e.g. "v1.2"); a '.' at the
+              end of a word is the clause terminator *)
+           || (input.[!j] = '.' && !j + 1 < n && is_ident_char input.[!j + 1])
+           )
+      do
+        incr j
+      done;
+      let text = String.sub input !i (!j - !i) in
+      (match text.[0] with
+       | 'A' .. 'Z' | '_' -> emit (VAR text)
+       | _ -> emit (IDENT text));
+      i := !j
+    end
+    else if c = '.' then (emit PERIOD; incr i)
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> s
+  | VAR s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | PERIOD -> "."
+  | TURNSTILE -> ":-"
+  | BANG -> "!"
+  | QMARK -> "?"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | ARROW -> "->"
+  | COLON -> ":"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,45 @@
+(** Hand-rolled lexer for the Datalog± surface syntax.
+
+    Lexical classes:
+    - variables: identifiers starting with an uppercase letter or [_];
+    - symbols: identifiers starting with a lowercase letter (may
+      contain letters, digits, [_], [-], [/], [:], [.] after the first
+      character when not terminating the clause), or double-quoted
+      strings;
+    - numbers: integer and float literals;
+    - punctuation: [( ) , . ! ? :- { } -> :] and comparison
+      operators [= != < <= > >=];
+    - comments: from [%] or [#] to end of line. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier *)
+  | VAR of string  (** uppercase-initial identifier or [_...] *)
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE  (** [:-] *)
+  | BANG  (** [!] *)
+  | QMARK  (** [?] *)
+  | LBRACE  (** [{] *)
+  | RBRACE  (** [}] *)
+  | ARROW  (** [->] *)
+  | COLON  (** [:] not followed by [-] *)
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { line : int; col : int; message : string }
+
+val tokens : string -> (token * int) list
+(** Tokenize a whole input; each token is paired with its line number.
+    @raise Error on an unrecognized character or unterminated string. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,45 @@
+type t = {
+  name : string;
+  body : Atom.t list;
+  cmps : Atom.Cmp.t list;
+}
+
+let counter = ref 0
+
+let body_vars_of body =
+  List.fold_left
+    (fun acc a -> Term.Var_set.union acc (Atom.vars a))
+    Term.Var_set.empty body
+
+let make ?name ?(cmps = []) body =
+  if body = [] then invalid_arg "Nc.make: empty body";
+  let bv = body_vars_of body in
+  List.iter
+    (fun c ->
+      Term.Var_set.iter
+        (fun v ->
+          if not (Term.Var_set.mem v bv) then
+            invalid_arg
+              (Printf.sprintf
+                 "Nc.make: comparison variable %s not in body" v))
+        (Atom.Cmp.vars c))
+    cmps;
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "nc%d" !counter
+  in
+  { name; body; cmps }
+
+let body_vars t = body_vars_of t.body
+
+let pp ppf t =
+  let pp_body ppf () =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Atom.pp ppf t.body;
+    List.iter (fun c -> Format.fprintf ppf ", %a" Atom.Cmp.pp c) t.cmps
+  in
+  Format.fprintf ppf "! :- %a" pp_body ()

@@ -1,0 +1,20 @@
+(** Negative constraints: [∀x̄ (φ(x̄) → ⊥)], with optional comparison
+    side conditions.
+
+    The paper's dimensional constraints of form (3) ("no patient was in
+    intensive care after August 2005") and the referential constraints
+    of form (1) (compiled by the multidimensional layer). *)
+
+type t = private {
+  name : string;
+  body : Atom.t list;
+  cmps : Atom.Cmp.t list;
+}
+
+val make : ?name:string -> ?cmps:Atom.Cmp.t list -> Atom.t list -> t
+(** @raise Invalid_argument if the body is empty or a comparison uses a
+    variable absent from the body. *)
+
+val body_vars : t -> Term.Var_set.t
+
+val pp : Format.formatter -> t -> unit

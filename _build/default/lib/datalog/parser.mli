@@ -1,0 +1,70 @@
+(** Recursive-descent parser for the Datalog± surface syntax.
+
+    Statement forms (each terminated by [.]):
+
+    {v
+    % comment                      # comment
+    p(a, "Tom Waits", 3).          fact (must be ground)
+    h(X, Y) :- p(X, Z), q(Z, Y).   TGD; head vars not in the body are
+                                   existential; multi-atom heads:
+                                   h1(X), h2(X) :- p(X).
+    X = Y :- p(X), p(Y).           EGD
+    ! :- p(X), q(X), X >= 5.       negative constraint (comparisons ok)
+    ?ans(X) :- p(X, Y), Y != b.    named query
+    ? :- p(X).                     boolean query
+    v}
+
+    Constants are lowercase identifiers, quoted strings or numbers;
+    variables start with an uppercase letter or [_]. *)
+
+type parsed = {
+  program : Program.t;
+  queries : Query.t list;  (** in source order *)
+}
+
+exception Error of { line : int; message : string }
+
+val parse_string : string -> parsed
+(** @raise Error on syntax errors, non-ground facts, unsafe rules. *)
+
+val parse_file : string -> parsed
+(** @raise Sys_error on I/O failure, {!Error} on syntax errors. *)
+
+val parse_query : string -> Query.t
+(** Parse a single query statement (with or without the leading [?]).
+    @raise Error if the input is not exactly one query. *)
+
+(** Lower-level parsing toolkit, for layers that extend the surface
+    syntax with their own declarations (e.g. the multidimensional
+    context format of [Mdqa_context.Md_parser]) while reusing the
+    statement grammar above. *)
+module Raw : sig
+  type state
+
+  val init : string -> state
+  (** Tokenize an input. @raise Error on lexical errors. *)
+
+  val at_eof : state -> bool
+
+  val peek : state -> Lexer.token * int
+  (** Current token and its line, without consuming. *)
+
+  val peek2 : state -> Lexer.token
+  (** One token of extra lookahead. *)
+
+  val advance : state -> unit
+  val expect : state -> Lexer.token -> string -> unit
+  val error : state -> string -> 'a
+  (** @raise Error at the current line. *)
+
+  type statement =
+    | S_fact of Atom.t
+    | S_tgd of Tgd.t
+    | S_egd of Egd.t
+    | S_nc of Nc.t
+    | S_query of Query.t
+
+  val statement : state -> statement
+  (** Parse one datalog statement (as documented above).
+      @raise Error on syntax errors. *)
+end

@@ -1,0 +1,181 @@
+type position = string * int
+
+module Pos_set = Set.Make (struct
+  type t = position
+  let compare = compare
+end)
+
+module Pos_map = Map.Make (struct
+  type t = position
+  let compare = compare
+end)
+
+type t = {
+  program : Program.t;
+  positions : position list;
+  edges : (position * position * [ `Ordinary | `Special ]) list;
+}
+
+(* Positions of variable [v] across a list of atoms. *)
+let positions_of_var atoms v =
+  List.concat_map
+    (fun a -> List.map (fun i -> (Atom.pred a, i)) (Atom.var_positions a v))
+    atoms
+
+let build program =
+  let edges =
+    List.concat_map
+      (fun (tgd : Tgd.t) ->
+        let frontier = Tgd.frontier tgd in
+        let existentials = Tgd.existential_vars tgd in
+        let special_targets =
+          Term.Var_set.fold
+            (fun z acc -> positions_of_var tgd.Tgd.head z @ acc)
+            existentials []
+        in
+        Term.Var_set.fold
+          (fun x acc ->
+            let body_pos = positions_of_var tgd.Tgd.body x in
+            let head_pos = positions_of_var tgd.Tgd.head x in
+            let ordinary =
+              List.concat_map
+                (fun pb -> List.map (fun ph -> (pb, ph, `Ordinary)) head_pos)
+                body_pos
+            in
+            let special =
+              List.concat_map
+                (fun pb ->
+                  List.map (fun pz -> (pb, pz, `Special)) special_targets)
+                body_pos
+            in
+            ordinary @ special @ acc)
+          frontier [])
+      program.Program.tgds
+    |> List.sort_uniq compare
+  in
+  { program; positions = Program.positions program; edges }
+
+let positions g = g.positions
+let edges g = g.edges
+
+let successors g p =
+  List.filter_map (fun (a, b, k) -> if a = p then Some (b, k) else None) g.edges
+
+(* All positions reachable from [start] (inclusive). *)
+let reachable g start =
+  let seen = ref (Pos_set.singleton start) in
+  let rec go p =
+    List.iter
+      (fun (q, _) ->
+        if not (Pos_set.mem q !seen) then begin
+          seen := Pos_set.add q !seen;
+          go q
+        end)
+      (successors g p)
+  in
+  go start;
+  !seen
+
+let cyclic_special_edges g =
+  List.filter
+    (fun (u, v, k) -> k = `Special && Pos_set.mem u (reachable g v))
+    g.edges
+
+let is_weakly_acyclic g = cyclic_special_edges g = []
+
+let infinite_rank_set g =
+  List.fold_left
+    (fun acc (_, v, _) -> Pos_set.union acc (reachable g v))
+    Pos_set.empty (cyclic_special_edges g)
+
+let infinite_rank_positions g = Pos_set.elements (infinite_rank_set g)
+
+let finite_rank_positions g =
+  let inf = infinite_rank_set g in
+  List.filter (fun p -> not (Pos_set.mem p inf)) g.positions
+
+(* Rank by iterative relaxation over the finite-rank subgraph: rank(p)
+   = max over incoming edges (rank(src) + special?).  The subgraph may
+   contain ordinary cycles; ranks still converge because an edge inside
+   a cycle adds 0 (a special edge inside a cycle would have made the
+   targets infinite).  We iterate to a fixpoint bounded by the number
+   of special edges. *)
+let rank g p =
+  let inf = infinite_rank_set g in
+  if Pos_set.mem p inf then None
+  else begin
+    let ranks = ref Pos_map.empty in
+    let get q = Option.value ~default:0 (Pos_map.find_opt q !ranks) in
+    let n_special =
+      List.length (List.filter (fun (_, _, k) -> k = `Special) g.edges)
+    in
+    let changed = ref true in
+    let guard = ref (n_special + List.length g.positions + 2) in
+    while !changed && !guard > 0 do
+      changed := false;
+      decr guard;
+      List.iter
+        (fun (u, v, k) ->
+          if not (Pos_set.mem u inf) && not (Pos_set.mem v inf) then begin
+            let bump = if k = `Special then 1 else 0 in
+            let r = get u + bump in
+            if r > get v then begin
+              ranks := Pos_map.add v r !ranks;
+              changed := true
+            end
+          end)
+        g.edges
+    done;
+    Some (get p)
+  end
+
+let affected_positions g =
+  let tgds = g.program.Program.tgds in
+  (* Base: positions of existential variables in heads. *)
+  let base =
+    List.fold_left
+      (fun acc (tgd : Tgd.t) ->
+        Term.Var_set.fold
+          (fun z acc ->
+            List.fold_left
+              (fun acc p -> Pos_set.add p acc)
+              acc
+              (positions_of_var tgd.Tgd.head z))
+          (Tgd.existential_vars tgd) acc)
+      Pos_set.empty tgds
+  in
+  (* Propagation: a frontier variable occurring in the body only at
+     affected positions contaminates its head positions. *)
+  let step affected =
+    List.fold_left
+      (fun acc (tgd : Tgd.t) ->
+        Term.Var_set.fold
+          (fun x acc ->
+            let body_pos = positions_of_var tgd.Tgd.body x in
+            if
+              body_pos <> []
+              && List.for_all (fun p -> Pos_set.mem p affected) body_pos
+            then
+              List.fold_left
+                (fun acc p -> Pos_set.add p acc)
+                acc
+                (positions_of_var tgd.Tgd.head x)
+            else acc)
+          (Tgd.frontier tgd) acc)
+      affected tgds
+  in
+  let rec fix s =
+    let s' = step s in
+    if Pos_set.equal s s' then s else fix s'
+  in
+  Pos_set.elements (fix base)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (u, v, k) ->
+      Format.fprintf ppf "(%s,%d) %s-> (%s,%d)@," (fst u) (snd u)
+        (match k with `Special -> "*" | `Ordinary -> "")
+        (fst v) (snd v))
+    g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** The dependency graph on predicate positions, with ordinary and
+    special edges (Fagin et al.; Calì–Gottlob–Pieris).
+
+    Nodes are positions [(pred, i)].  For every TGD and every frontier
+    variable [x] occurring in the body at position [πb]:
+    - an {e ordinary} edge [πb → πh] for every occurrence of [x] in the
+      head at [πh];
+    - a {e special} edge [πb → πz] for every position [πz] of an
+      existential variable in the head.
+
+    Special edges record where labeled nulls are created; cycles
+    through special edges are how a chase can invent unboundedly many
+    nulls.  Positions {e not} reachable from a special edge lying on a
+    cycle have finite rank; the set ∏_F of finite-rank positions is the
+    ingredient of the weak-stickiness test. *)
+
+type position = string * int
+
+type t
+
+val build : Program.t -> t
+
+val positions : t -> position list
+
+val edges : t -> (position * position * [ `Ordinary | `Special ]) list
+
+val is_weakly_acyclic : t -> bool
+(** No cycle contains a special edge — the chase terminates on all
+    instances (Fagin et al., data exchange). *)
+
+val infinite_rank_positions : t -> position list
+(** Positions reachable from a special edge that lies on a cycle. *)
+
+val finite_rank_positions : t -> position list
+(** ∏_F: the complement of {!infinite_rank_positions} within
+    {!positions}. *)
+
+val rank : t -> position -> int option
+(** [Some r]: the maximum number of special edges on any path ending at
+    the position; [None] for infinite rank.  Positions absent from the
+    program have rank [Some 0]. *)
+
+val affected_positions : t -> position list
+(** Positions where the chase may place a labeled null: positions of
+    existential variables, closed under propagation of frontier
+    variables occurring only at affected body positions. *)
+
+val pp : Format.formatter -> t -> unit

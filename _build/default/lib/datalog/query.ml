@@ -1,0 +1,123 @@
+module Tuple = Mdqa_relational.Tuple
+module Instance = Mdqa_relational.Instance
+
+type t = {
+  name : string;
+  head : Term.t list;
+  body : Atom.t list;
+  cmps : Atom.Cmp.t list;
+}
+
+let counter = ref 0
+
+let make ?name ?(cmps = []) ~head body =
+  if body = [] then invalid_arg "Query.make: empty body";
+  let bv =
+    List.fold_left
+      (fun acc a -> Term.Var_set.union acc (Atom.vars a))
+      Term.Var_set.empty body
+  in
+  List.iter
+    (function
+      | Term.Var v when not (Term.Var_set.mem v bv) ->
+        invalid_arg
+          (Printf.sprintf "Query.make: head variable %s not in body" v)
+      | _ -> ())
+    head;
+  List.iter
+    (fun c ->
+      Term.Var_set.iter
+        (fun v ->
+          if not (Term.Var_set.mem v bv) then
+            invalid_arg
+              (Printf.sprintf "Query.make: comparison variable %s not in body"
+                 v))
+        (Atom.Cmp.vars c))
+    cmps;
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "q%d" !counter
+  in
+  { name; head; body; cmps }
+
+let boolean ?name ?cmps body = make ?name ?cmps ~head:[] body
+
+let is_boolean q = q.head = []
+
+let answer_vars q =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Var v -> Term.Var_set.add v acc
+      | Term.Const _ -> acc)
+    Term.Var_set.empty q.head
+
+let head_image q s =
+  Tuple.of_list
+    (List.map
+       (fun t ->
+         match Subst.walk s t with
+         | Term.Const c -> c
+         | Term.Var v ->
+           invalid_arg
+             (Printf.sprintf "Query: unbound head variable %s" v))
+       q.head)
+
+let matches inst q =
+  let images =
+    List.fold_left
+      (fun acc s -> Tuple.Set.add (head_image q s) acc)
+      Tuple.Set.empty
+      (Eval.answers ~cmps:q.cmps inst q.body)
+  in
+  Tuple.Set.elements images
+
+let certain inst q =
+  List.filter (fun t -> not (Tuple.has_null t)) (matches inst q)
+
+let holds inst q = Eval.exists ~cmps:q.cmps inst q.body
+
+type 'a outcome =
+  | Ok of 'a
+  | Inconsistent of Chase.failure
+  | Budget of Chase.stats
+
+let with_chase ?chase_variant ?(goal_directed = false) ?max_steps ?max_nulls
+    program inst q f =
+  let program =
+    if goal_directed then
+      Program.restrict_to_goals program
+        ~goals:(List.map Atom.pred q.body)
+    else program
+  in
+  let result =
+    Chase.run ?variant:chase_variant ?max_steps ?max_nulls program inst
+  in
+  match result.Chase.outcome with
+  | Chase.Saturated -> Ok (f result.Chase.instance)
+  | Chase.Failed failure -> Inconsistent failure
+  | Chase.Out_of_budget -> Budget result.Chase.stats
+
+let certain_answers ?chase_variant ?goal_directed ?max_steps ?max_nulls
+    program inst q =
+  with_chase ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst
+    q (fun i -> certain i q)
+
+let entails ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst q =
+  with_chase ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst
+    q (fun i -> holds i q)
+
+let pp ppf q =
+  Format.fprintf ppf "%s(%a) :- %a" q.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Term.pp)
+    q.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Atom.pp)
+    q.body;
+  List.iter (fun c -> Format.fprintf ppf ", %a" Atom.Cmp.pp c) q.cmps

@@ -1,0 +1,76 @@
+(** Conjunctive queries and certain-answer semantics.
+
+    A query [Q(x̄) ← φ(x̄,ȳ), χ] has distinguished head terms [x̄]
+    (variables or constants), a conjunctive body and comparison side
+    conditions.  Over a chased instance, {e certain answers} are the
+    matches whose head terms are bound to non-null constants: for
+    TGD-only (and separable) programs the chase is a universal model,
+    so null-free answers on it coincide with certain answers. *)
+
+type t = private {
+  name : string;
+  head : Term.t list;
+  body : Atom.t list;
+  cmps : Atom.Cmp.t list;
+}
+
+val make :
+  ?name:string ->
+  ?cmps:Atom.Cmp.t list ->
+  head:Term.t list ->
+  Atom.t list ->
+  t
+(** @raise Invalid_argument if the body is empty, a head variable does
+    not occur in the body, or a comparison variable does not occur in
+    the body. *)
+
+val boolean : ?name:string -> ?cmps:Atom.Cmp.t list -> Atom.t list -> t
+(** A boolean conjunctive query (empty head). *)
+
+val is_boolean : t -> bool
+val answer_vars : t -> Term.Var_set.t
+
+val matches : Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
+(** All head images over the given instance, including those containing
+    labeled nulls; sorted, deduplicated. *)
+
+val certain : Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
+(** Null-free head images over the given (chased) instance. *)
+
+val holds : Mdqa_relational.Instance.t -> t -> bool
+(** Boolean entailment over the given (chased) instance. *)
+
+(** End-to-end answering: chase then evaluate. *)
+
+type 'a outcome =
+  | Ok of 'a
+  | Inconsistent of Chase.failure
+      (** the chase failed; every tuple is entailed in classical
+          semantics, so no meaningful answer set exists *)
+  | Budget of Chase.stats  (** the chase ran out of budget *)
+
+val certain_answers :
+  ?chase_variant:Chase.variant ->
+  ?goal_directed:bool ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Program.t ->
+  Mdqa_relational.Instance.t ->
+  t ->
+  Mdqa_relational.Tuple.t list outcome
+(** With [goal_directed] (off by default), the program is first
+    restricted to the rules relevant to the query's predicates
+    ({!Program.restrict_to_goals}) — same answers, smaller chase. *)
+
+val entails :
+  ?chase_variant:Chase.variant ->
+  ?goal_directed:bool ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  Program.t ->
+  Mdqa_relational.Instance.t ->
+  t ->
+  bool outcome
+(** Boolean conjunctive query answering via the chase. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+module Tuple = Mdqa_relational.Tuple
+
+type rewriting = {
+  ucq : Query.t list;
+  expansions : int;
+  pruned : int;
+}
+
+let rewritable = Program.predicate_graph_acyclic
+
+(* A canonical key for a CQ: variables renamed in first-occurrence
+   order over head, body and comparisons.  Two alpha-equivalent CQs
+   with the same atom order map to the same key. *)
+let canonical_key (head : Term.t list) (body : Atom.t list)
+    (cmps : Atom.Cmp.t list) =
+  let mapping = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rename t =
+    match t with
+    | Term.Const _ -> t
+    | Term.Var v -> (
+      match Hashtbl.find_opt mapping v with
+      | Some v' -> Term.Var v'
+      | None ->
+        incr counter;
+        let v' = Printf.sprintf "X%d" !counter in
+        Hashtbl.add mapping v v';
+        Term.Var v')
+  in
+  let head' = List.map rename head in
+  let body' =
+    List.map (fun a -> Atom.make (Atom.pred a) (List.map rename (Atom.args a)))
+      body
+  in
+  let cmps' =
+    List.map
+      (fun (c : Atom.Cmp.t) ->
+        Atom.Cmp.make c.Atom.Cmp.op (rename c.Atom.Cmp.lhs)
+          (rename c.Atom.Cmp.rhs))
+      cmps
+  in
+  Format.asprintf "%a|%a|%a"
+    (Format.pp_print_list Term.pp)
+    head'
+    (Format.pp_print_list Atom.pp)
+    body'
+    (Format.pp_print_list Atom.Cmp.pp)
+    cmps'
+
+(* Count variable occurrences over body atoms and head terms. *)
+let occurrence_counts head body =
+  let counts = Hashtbl.create 16 in
+  let bump = function
+    | Term.Var v ->
+      Hashtbl.replace counts v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+    | Term.Const _ -> ()
+  in
+  List.iter bump head;
+  List.iter (fun a -> List.iter bump (Atom.args a)) body;
+  counts
+
+(* Unfolding applicability: each existential position of the head must
+   meet an unshared non-answer variable of the query. *)
+let applicable ~ex_vars ~counts (goal : Atom.t) (head_atom : Atom.t) =
+  List.for_all2
+    (fun g h ->
+      match h with
+      | Term.Var v when Term.Var_set.mem v ex_vars -> (
+        match g with
+        | Term.Var gv ->
+          Option.value ~default:0 (Hashtbl.find_opt counts gv) = 1
+        | Term.Const _ -> false)
+      | _ -> true)
+    (Atom.args goal) (Atom.args head_atom)
+
+let rewrite ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
+    (q : Query.t) =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let expansions = ref 0 in
+  let counter = ref 0 in
+  let exception Too_many in
+  let rec add (head, body, cmps) =
+    let key = canonical_key head body cmps in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if Hashtbl.length seen > max_cqs then raise Too_many;
+      out := (head, body, cmps) :: !out;
+      expand (head, body, cmps)
+    end
+  and expand (head, body, cmps) =
+    let counts = occurrence_counts head body in
+    List.iteri
+      (fun i goal ->
+        List.iter
+          (fun tgd ->
+            incr counter;
+            let tgd' =
+              Tgd.rename ~suffix:(Printf.sprintf "~%d" !counter) tgd
+            in
+            let ex_vars = Tgd.existential_vars tgd' in
+            List.iter
+              (fun h ->
+                if
+                  String.equal (Atom.pred h) (Atom.pred goal)
+                  && Atom.arity h = Atom.arity goal
+                  && applicable ~ex_vars ~counts goal h
+                then
+                  match Unify.unify goal h with
+                  | None -> ()
+                  | Some s ->
+                    incr expansions;
+                    let body' =
+                      List.filteri (fun j _ -> j <> i) body
+                      |> List.map (Subst.apply_atom s)
+                    in
+                    let new_atoms = Subst.apply_atoms s tgd'.Tgd.body in
+                    let head' = List.map (Subst.apply_term s) head in
+                    let cmps' = List.map (Subst.apply_cmp s) cmps in
+                    add (head', new_atoms @ body', cmps'))
+              tgd'.Tgd.head)
+          (Program.tgds_with_head program (Atom.pred goal)))
+      body
+  in
+  match add (q.Query.head, q.Query.body, q.Query.cmps) with
+  | () ->
+    let ucq =
+      List.rev_map
+        (fun (head, body, cmps) ->
+          Query.make ~name:q.Query.name ~cmps ~head body)
+        !out
+      |> List.rev
+    in
+    let kept = if prune then Containment.prune_ucq ucq else ucq in
+    Ok
+      { ucq = kept;
+        expansions = !expansions;
+        pruned = List.length ucq - List.length kept }
+  | exception Too_many ->
+    Error
+      (Printf.sprintf
+         "rewriting exceeded %d conjunctive queries (cyclic rule set?)"
+         max_cqs)
+
+let answers ?max_cqs ?prune program inst q =
+  match rewrite ?max_cqs ?prune program q with
+  | Error _ as e -> e
+  | Ok { ucq; _ } ->
+    let all =
+      List.fold_left
+        (fun acc cq ->
+          List.fold_left
+            (fun acc t -> Tuple.Set.add t acc)
+            acc (Query.certain inst cq))
+        Tuple.Set.empty ucq
+    in
+    Ok (Tuple.Set.elements all)
+
+let pp_rewriting ppf r =
+  Format.fprintf ppf "@[<v>UCQ with %d disjuncts (%d expansions, %d pruned):"
+    (List.length r.ucq) r.expansions r.pruned;
+  List.iter (fun cq -> Format.fprintf ppf "@,  %a" Query.pp cq) r.ucq;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** First-order (UCQ) rewriting of conjunctive queries, for the
+    "upward-only" ontologies of §IV of the paper.
+
+    The query is repeatedly {e unfolded}: an atom is resolved against a
+    TGD head (renamed apart) and replaced by the TGD body.  Every
+    intermediate query is kept in the output union, because a predicate
+    may carry extensional facts as well as derived ones.  The resulting
+    UCQ is evaluated directly on the extensional database — no chase.
+
+    Unfolding an atom against a head with existential variables is only
+    {e applicable} when each existential position meets an unshared,
+    non-answer variable of the query (the standard single-piece
+    condition); otherwise that unfolding is skipped.
+
+    Termination: when the program's predicate graph is acyclic —
+    syntactically guaranteed for upward-only multidimensional
+    ontologies, where rules only move data to strictly higher category
+    levels — unfolding terminates.  A [max_cqs] budget guards cyclic
+    inputs and returns [Error] instead of diverging. *)
+
+type rewriting = {
+  ucq : Query.t list;  (** the union of conjunctive queries *)
+  expansions : int;  (** unfolding steps performed *)
+  pruned : int;  (** disjuncts removed by containment pruning *)
+}
+
+val rewritable : Program.t -> bool
+(** Sufficient syntactic test: the predicate graph is acyclic. *)
+
+val rewrite :
+  ?max_cqs:int -> ?prune:bool -> Program.t -> Query.t ->
+  (rewriting, string) result
+(** Default [max_cqs] 10_000.  With [prune] (the default), disjuncts
+    contained in another disjunct are removed via {!Containment} before
+    evaluation. *)
+
+val answers :
+  ?max_cqs:int ->
+  ?prune:bool ->
+  Program.t ->
+  Mdqa_relational.Instance.t ->
+  Query.t ->
+  (Mdqa_relational.Tuple.t list, string) result
+(** Rewrite, then evaluate each disjunct on the extensional instance;
+    null-free answers only, sorted and deduplicated. *)
+
+val pp_rewriting : Format.formatter -> rewriting -> unit

@@ -1,0 +1,40 @@
+module Pos_set = Set.Make (struct
+  type t = string * int
+  let compare = compare
+end)
+
+type verdict = { separable : bool; offending : (Egd.t * string) list }
+
+let check_egds program ~allowed =
+  let offending =
+    List.concat_map
+      (fun (egd : Egd.t) ->
+        Term.Var_set.fold
+          (fun v acc ->
+            let pos = Egd.var_body_positions egd v in
+            if List.for_all (fun p -> allowed p) pos then acc
+            else (egd, v) :: acc)
+          (Egd.equated_vars egd) [])
+      program.Program.egds
+  in
+  { separable = offending = []; offending }
+
+let non_affected_heads program =
+  let g = Position_graph.build program in
+  let affected = Pos_set.of_list (Position_graph.affected_positions g) in
+  check_egds program ~allowed:(fun p -> not (Pos_set.mem p affected))
+
+let within_positions program ~closed =
+  let closed = Pos_set.of_list closed in
+  check_egds program ~allowed:(fun p -> Pos_set.mem p closed)
+
+let pp_verdict ppf v =
+  if v.separable then Format.pp_print_string ppf "separable"
+  else begin
+    Format.fprintf ppf "not separable:";
+    List.iter
+      (fun ((egd : Egd.t), var) ->
+        Format.fprintf ppf "@ %s equates %s at a disallowed position"
+          egd.Egd.name var)
+      v.offending
+  end

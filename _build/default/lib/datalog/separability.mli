@@ -1,0 +1,26 @@
+(** Sufficient conditions for the separability of EGDs and TGDs
+    (Calì–Gottlob–Pieris; paper §III).
+
+    EGDs and TGDs are {e separable} when conjunctive query answering
+    can ignore the EGDs provided the extensional instance satisfies
+    them: EGD enforcement never feeds the TGDs new derivations.  Two
+    checkable sufficient conditions are implemented:
+
+    - {!non_affected_heads}: every variable equated by an EGD occurs in
+      the EGD body only at non-affected positions, so labeled nulls can
+      never reach it and EGD applications involve extensional constants
+      only;
+    - {!within_positions}: every equated variable occurs only at
+      positions from a caller-supplied closed set — the
+      multidimensional layer passes the categorical positions, whose
+      values come from the fixed finite dimension instances (the
+      paper's criterion for rules of form (2) with categorical head
+      variables). *)
+
+type verdict = { separable : bool; offending : (Egd.t * string) list }
+
+val non_affected_heads : Program.t -> verdict
+
+val within_positions : Program.t -> closed:(string * int) list -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

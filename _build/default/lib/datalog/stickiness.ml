@@ -1,0 +1,126 @@
+type occurrence = {
+  tgd : Tgd.t;
+  atom_index : int;
+  arg_index : int;
+  var : string;
+}
+
+module Pos_set = Set.Make (struct
+  type t = string * int
+  let compare = compare
+end)
+
+type marking = {
+  program : Program.t;
+  (* marked variables per TGD name *)
+  marked : (string, Term.Var_set.t) Hashtbl.t;
+}
+
+let marked_vars m (tgd : Tgd.t) =
+  Option.value ~default:Term.Var_set.empty
+    (Hashtbl.find_opt m.marked tgd.Tgd.name)
+
+let is_marked m tgd v = Term.Var_set.mem v (marked_vars m tgd)
+
+(* Positions at which a variable occurs in a list of atoms. *)
+let occ_positions atoms v =
+  List.concat_map
+    (fun a -> List.map (fun i -> (Atom.pred a, i)) (Atom.var_positions a v))
+    atoms
+
+let marked_positions_set m =
+  List.fold_left
+    (fun acc (tgd : Tgd.t) ->
+      Term.Var_set.fold
+        (fun v acc ->
+          List.fold_left
+            (fun acc p -> Pos_set.add p acc)
+            acc
+            (occ_positions tgd.Tgd.body v))
+        (marked_vars m tgd) acc)
+    Pos_set.empty m.program.Program.tgds
+
+let mark program =
+  let m = { program; marked = Hashtbl.create 16 } in
+  let add (tgd : Tgd.t) v =
+    let cur = marked_vars m tgd in
+    if Term.Var_set.mem v cur then false
+    else begin
+      Hashtbl.replace m.marked tgd.Tgd.name (Term.Var_set.add v cur);
+      true
+    end
+  in
+  (* Base step: body variables absent from the head. *)
+  List.iter
+    (fun (tgd : Tgd.t) ->
+      let hv = Tgd.head_vars tgd in
+      Term.Var_set.iter
+        (fun v -> if not (Term.Var_set.mem v hv) then ignore (add tgd v))
+        (Tgd.body_vars tgd))
+    program.Program.tgds;
+  (* Propagation to fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let mp = marked_positions_set m in
+    List.iter
+      (fun (tgd : Tgd.t) ->
+        Term.Var_set.iter
+          (fun x ->
+            let head_pos = occ_positions tgd.Tgd.head x in
+            if List.exists (fun p -> Pos_set.mem p mp) head_pos then
+              if add tgd x then changed := true)
+          (Tgd.frontier tgd))
+      program.Program.tgds
+  done;
+  m
+
+let marked_occurrences m =
+  List.concat_map
+    (fun (tgd : Tgd.t) ->
+      let mv = marked_vars m tgd in
+      List.concat
+        (List.mapi
+           (fun atom_index a ->
+             List.concat
+               (List.mapi
+                  (fun arg_index t ->
+                    match t with
+                    | Term.Var v when Term.Var_set.mem v mv ->
+                      [ { tgd; atom_index; arg_index; var = v } ]
+                    | _ -> [])
+                  (Atom.args a)))
+           tgd.Tgd.body))
+    m.program.Program.tgds
+
+let marked_positions m = Pos_set.elements (marked_positions_set m)
+
+let is_sticky program =
+  let m = mark program in
+  List.for_all
+    (fun (tgd : Tgd.t) ->
+      let repeated = Tgd.repeated_body_vars tgd in
+      Term.Var_set.is_empty
+        (Term.Var_set.inter repeated (marked_vars m tgd)))
+    program.Program.tgds
+
+let weak_stickiness_violations program =
+  let m = mark program in
+  let g = Position_graph.build program in
+  let finite = Pos_set.of_list (Position_graph.finite_rank_positions g) in
+  List.concat_map
+    (fun (tgd : Tgd.t) ->
+      let repeated = Tgd.repeated_body_vars tgd in
+      Term.Var_set.fold
+        (fun v acc ->
+          if not (is_marked m tgd v) then acc
+          else if
+            List.exists
+              (fun p -> Pos_set.mem p finite)
+              (occ_positions tgd.Tgd.body v)
+          then acc
+          else (tgd, v) :: acc)
+        repeated [])
+    program.Program.tgds
+
+let is_weakly_sticky program = weak_stickiness_violations program = []

@@ -1,0 +1,43 @@
+(** The sticky-marking procedure of Calì–Gottlob–Pieris and the
+    stickiness / weak-stickiness tests built on it.
+
+    Marking works on variable occurrences in TGD bodies:
+    - {e base step}: in each TGD, mark every occurrence of each body
+      variable that does not appear in the head;
+    - {e propagation}: if a variable [x] appears in the head of a TGD
+      at a position that is marked somewhere (i.e. some marked body
+      occurrence of any TGD sits at that position), mark every body
+      occurrence of [x] in that TGD; repeat to fixpoint.
+
+    A program is {e sticky} if no marked variable occurs more than once
+    in a body.  A program is {e weakly sticky} if every variable that
+    occurs more than once in a body is either unmarked or occurs at
+    least once at a position of finite rank (∏_F). *)
+
+type occurrence = {
+  tgd : Tgd.t;
+  atom_index : int;  (** index in the body *)
+  arg_index : int;
+  var : string;
+}
+
+type marking
+
+val mark : Program.t -> marking
+
+val marked_occurrences : marking -> occurrence list
+
+val marked_positions : marking -> (string * int) list
+(** Positions carrying at least one marked body occurrence. *)
+
+val is_marked : marking -> Tgd.t -> string -> bool
+(** Is the variable marked in that TGD's body? *)
+
+val is_sticky : Program.t -> bool
+
+val is_weakly_sticky : Program.t -> bool
+
+val weak_stickiness_violations : Program.t -> (Tgd.t * string) list
+(** Pairs (rule, variable) witnessing non-weak-stickiness: marked
+    variables with ≥ 2 body occurrences, none at a finite-rank
+    position. *)

@@ -1,0 +1,38 @@
+let unify_terms s a b =
+  let a = Subst.walk s a and b = Subst.walk s b in
+  (* After walking, any [Var v] is unbound in [s], so [bind] succeeds. *)
+  match a, b with
+  | Term.Const x, Term.Const y ->
+    if Mdqa_relational.Value.equal x y then Some s else None
+  | Term.Var v, Term.Var w when String.equal v w -> Some s
+  | Term.Var v, t | t, Term.Var v -> Subst.bind s v t
+
+let on_args f ?(init = Subst.empty) (a : Atom.t) (b : Atom.t) =
+  if
+    (not (String.equal (Atom.pred a) (Atom.pred b)))
+    || Atom.arity a <> Atom.arity b
+  then None
+  else
+    let rec go s i =
+      if i >= Atom.arity a then Some s
+      else
+        match f s (Atom.arg a i) (Atom.arg b i) with
+        | Some s' -> go s' (i + 1)
+        | None -> None
+    in
+    go init 0
+
+let unify ?init a b = on_args unify_terms ?init a b
+
+let match_term s pat target =
+  let pat = Subst.walk s pat in
+  match pat, target with
+  | Term.Const x, Term.Const y ->
+    if Mdqa_relational.Value.equal x y then Some s else None
+  | Term.Const _, Term.Var _ -> None
+  | Term.Var v, t -> Subst.bind s v t
+
+let match_against ?init ~pattern target = on_args match_term ?init pattern target
+
+let rename_apart ~suffix atoms =
+  List.map (Atom.rename_vars (fun v -> v ^ suffix)) atoms

@@ -1,0 +1,164 @@
+(** The paper's running example, encoded once and shared by the test
+    suite, the runnable examples and the benchmark harness.
+
+    Everything here follows the paper's Figures 1–2 and Tables I–V:
+
+    - dimensions [Hospital] (Ward → Unit → Institution) and [Time]
+      (Time → Day → Month → Year), with the member assignment implied
+      by the narrative (wards W1, W2 in the Standard unit, W3 in
+      Intensive, W4 in Terminal; Standard and Intensive in H1, Terminal
+      in H2);
+    - the categorical relations [measurements] (Table I),
+      [patient_ward], [working_schedules] (Table III), [shifts]
+      (Table IV), [discharge_patients] (Table V) and [thermometer];
+    - dimensional rules (7) (upward), (8) (downward, existential
+      shift), (9) (downward with existential unit — form (10));
+    - the thermometer EGD (6) and the "intensive care closed after
+      August 2005" negative constraints;
+    - the quality context of §V / Example 7, with the quality
+      predicates [taken_by_nurse] and [taken_with_therm] and the
+      quality version [measurements_q] (Table II).
+
+    Synthetic scaled versions of the same ontology (for the benchmark
+    harness) are produced by {!Gen}. *)
+
+open Mdqa_multidim
+
+(** {1 Dimensions} *)
+
+val hospital_dim : Dim_schema.t
+val time_dim : Dim_schema.t
+val hospital_instance : Dim_instance.t
+val time_instance : Dim_instance.t
+
+val device_dim : Dim_schema.t
+(** Thermometer brands: the one-category dimension implied by the
+    paper's [Thermometer(Ward, Thermometertype; Nurse)] schema. *)
+
+val device_instance : Dim_instance.t
+
+(** {1 Categorical relations (the paper's tables)} *)
+
+val measurements : Mdqa_relational.Relation.t
+(** Table I. *)
+
+val expected_measurements_q : Mdqa_relational.Relation.t
+(** Table II — what the quality pipeline must compute. *)
+
+val patient_ward : Mdqa_relational.Relation.t
+(** Consistent version (without the discarded intensive-care tuple). *)
+
+val patient_ward_raw : Mdqa_relational.Relation.t
+(** With the third tuple placing Tom Waits in ward W3 (Intensive) on
+    Sep/7 — violates the closed-unit constraint, as in Example 1. *)
+
+val working_schedules : Mdqa_relational.Relation.t
+(** Table III. *)
+
+val shifts : Mdqa_relational.Relation.t
+(** Table IV (extensional part). *)
+
+val discharge_patients : Mdqa_relational.Relation.t
+(** Table V. *)
+
+val thermometer : Mdqa_relational.Relation.t
+
+(** {1 Rules and constraints} *)
+
+val rule7 : Mdqa_datalog.Tgd.t
+(** [patient_unit(U,D,P) :- patient_ward(W,D,P), unit_ward(U,W)]. *)
+
+val rule8 : Mdqa_datalog.Tgd.t
+(** [∃Z shifts(W,D,N,Z) :- working_schedules(U,D,N,T), unit_ward(U,W)]. *)
+
+val rule9 : Mdqa_datalog.Tgd.t
+(** [∃U institution_unit(I,U), patient_unit(U,D,P) :-
+       discharge_patients(I,D,P)] — form (10). *)
+
+val egd_thermometer : Mdqa_datalog.Egd.t
+(** Rule (6): thermometers within a unit have a single type. *)
+
+val ncs_intensive_closed : Mdqa_datalog.Nc.t list
+(** "No patient was in the intensive care unit after August 2005" —
+    one constraint per post-August month present in the Time
+    dimension. *)
+
+(** {1 Ontology and context} *)
+
+val md_schema : Md_schema.t
+
+val ontology :
+  ?raw_patient_ward:bool ->
+  ?include_rule9:bool ->
+  unit ->
+  Md_ontology.t
+(** The full ontology M.  [raw_patient_ward] (default false) uses
+    {!patient_ward_raw} to demonstrate the constraint violation;
+    [include_rule9] (default true) includes the form-(10) rule. *)
+
+val upward_ontology : unit -> Md_ontology.t
+(** Only rule (7): the upward-only fragment of §IV, eligible for FO
+    rewriting. *)
+
+val source : unit -> Mdqa_relational.Instance.t
+(** The instance D under assessment: the [measurements] relation. *)
+
+val context_rules : Mdqa_datalog.Tgd.t list
+(** Example 7's contextual definitions: [taken_by_nurse],
+    [taken_with_therm], [measurements_ext] and [measurements_q]. *)
+
+val context : ?raw_patient_ward:bool -> unit -> Mdqa_context.Context.t
+(** The quality context of Fig. 2 for the hospital example. *)
+
+val doctor_query : Mdqa_datalog.Query.t
+(** "Body temperatures of Tom Waits on September 5 taken around noon"
+    — over the original schema; rewritten to [measurements_q] by the
+    context. *)
+
+val example5_query : Mdqa_datalog.Query.t
+(** [Q'(d) ← shifts(W1, d, Mark, s)] — answered via downward
+    navigation; the expected answer is [Sep/9]. *)
+
+(** {1 Synthetic scaled instances (benchmarks)} *)
+
+module Gen : sig
+  type params = {
+    institutions : int;
+    units_per_institution : int;
+    wards_per_unit : int;
+    patients : int;
+    days : int;
+    measurements_per_patient_day : int;  (** instants per patient/day *)
+  }
+
+  val default : params
+  (** 1 institution × 3 units × 2 wards, 20 patients, 10 days, 1
+      measurement per patient per day. *)
+
+  val scale : int -> params
+  (** [scale n]: [n] patients over [max 3 (n/4)] days, hospital shape
+      as in [default] but with wards growing with [n]. *)
+
+  val patient_name : int -> string
+  val day_name : int -> string
+
+  val dim_instances : params -> Dim_instance.t * Dim_instance.t
+  (** The scaled Hospital and Time dimension instances. *)
+
+  val data : params -> Mdqa_relational.Instance.t
+  (** The scaled categorical relation data (patient/ward assignment and
+      working schedules). *)
+
+  val ontology : params -> Md_ontology.t
+  (** Scaled dimensions, patient/ward assignment, working schedules and
+      rules (7) and (8) — the same shape as the paper example. *)
+
+  val source : params -> Mdqa_relational.Instance.t
+  (** Scaled [measurements] table; roughly half the measurements are
+      taken under quality conditions (standard-unit wards). *)
+
+  val context : params -> Mdqa_context.Context.t
+
+  val doctor_query : params -> Mdqa_datalog.Query.t
+  (** A selective query over one patient and one day's window. *)
+end

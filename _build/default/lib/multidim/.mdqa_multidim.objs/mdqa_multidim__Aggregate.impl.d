@@ -1,0 +1,1 @@
+lib/multidim/aggregate.ml: Dim_instance Dim_schema Float Format Hashtbl List Mdqa_relational Printf Result String Summarizability

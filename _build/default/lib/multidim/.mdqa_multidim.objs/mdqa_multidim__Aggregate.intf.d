@@ -1,0 +1,1 @@
+lib/multidim/aggregate.mli: Dim_instance Format Mdqa_relational

@@ -1,0 +1,1 @@
+lib/multidim/dim_instance.ml: Dim_schema Format List Map Mdqa_relational Option Printf Set String

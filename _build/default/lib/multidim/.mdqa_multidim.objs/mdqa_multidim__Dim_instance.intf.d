@@ -1,0 +1,1 @@
+lib/multidim/dim_instance.mli: Dim_schema Format Mdqa_relational

@@ -1,0 +1,1 @@
+lib/multidim/dim_rule.ml: Atom Dim_schema Format Hashtbl List Md_schema Mdqa_datalog Option Printf Result String Term Tgd

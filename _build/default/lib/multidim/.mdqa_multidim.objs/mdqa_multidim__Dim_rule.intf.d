@@ -1,0 +1,1 @@
+lib/multidim/dim_rule.mli: Format Md_schema Mdqa_datalog

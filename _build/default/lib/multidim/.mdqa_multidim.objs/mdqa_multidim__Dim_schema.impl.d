@@ -1,0 +1,1 @@
+lib/multidim/dim_schema.ml: Buffer Format Hashtbl Int List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/multidim/dim_schema.mli: Format

@@ -1,0 +1,1 @@
+lib/multidim/md_ontology.ml: Chase Classes Dim_instance Dim_rule Dim_schema Egd Format List Md_schema Mdqa_datalog Mdqa_relational Nc Printf Program Proof Query Rewrite Separability String Tgd

@@ -1,0 +1,1 @@
+lib/multidim/md_ontology.mli: Dim_instance Dim_rule Format Md_schema Mdqa_datalog Mdqa_relational

@@ -1,0 +1,1 @@
+lib/multidim/md_schema.ml: Buffer Char Dim_schema Format Hashtbl List Mdqa_relational Printf String

@@ -1,0 +1,1 @@
+lib/multidim/md_schema.mli: Dim_schema Format Mdqa_relational

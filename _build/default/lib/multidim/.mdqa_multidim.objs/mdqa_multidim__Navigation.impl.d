@@ -1,0 +1,1 @@
+lib/multidim/navigation.ml: Dim_instance Dim_schema Fun List Mdqa_relational Option

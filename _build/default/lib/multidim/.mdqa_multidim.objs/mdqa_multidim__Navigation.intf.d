@@ -1,0 +1,1 @@
+lib/multidim/navigation.mli: Dim_instance Mdqa_relational

@@ -1,0 +1,1 @@
+lib/multidim/summarizability.ml: Dim_instance Dim_schema Format List Mdqa_relational String

@@ -1,0 +1,1 @@
+lib/multidim/summarizability.mli: Dim_instance Format Mdqa_relational

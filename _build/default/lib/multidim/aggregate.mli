@@ -1,0 +1,51 @@
+(** Summarizability-guarded aggregation over categorical relations.
+
+    OLAP-style roll-up aggregates: group the tuples of a categorical
+    relation by the ancestor (in a chosen category) of one of its
+    categorical attributes, and aggregate a numeric attribute.
+
+    This is where the HM summarizability conditions pay off concretely:
+    by default the roll-up is {e checked} — if the member hierarchy
+    between the attribute's category and the target category is not
+    strict and covering, aggregation would double-count or drop data,
+    and [Error] is returned instead of a silently wrong total
+    (disable with [~check:false] to observe the wrong totals, as the
+    sales example does). *)
+
+type op =
+  | Sum
+  | Count
+  | Avg
+  | Min
+  | Max
+
+type row = {
+  group : Mdqa_relational.Value.t;  (** the ancestor member *)
+  value : float;
+  tuples : int;  (** contributing tuples *)
+}
+
+val rollup :
+  Dim_instance.t ->
+  relation:Mdqa_relational.Relation.t ->
+  group_position:int ->
+  to_category:string ->
+  ?value_position:int ->
+  op:op ->
+  ?check:bool ->
+  unit ->
+  (row list, string) result
+(** [rollup di ~relation ~group_position ~to_category ~value_position
+    ~op ()] groups by the [to_category]-ancestor of the member at
+    [group_position] and aggregates the numeric value at
+    [value_position] ([Count] needs no value position).  Rows are
+    sorted by group.
+
+    Errors: the attribute's category does not roll up to
+    [to_category]; the roll-up is not summarizable (unless
+    [~check:false]); a tuple's value is not numeric; [value_position]
+    missing for an op that needs it.  Tuples whose member has no
+    ancestor in the target category are dropped when [check] is off
+    (that is exactly the non-covering data loss). *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,63 @@
+(** Dimension instances: members for each category plus the child →
+    parent member relation, paralleling the schema's category DAG.
+
+    Members are {!Mdqa_relational.Value.t} symbols.  The top category
+    [All] always has the single member [all].  Roll-up between
+    arbitrary (not just adjacent) categories is the transitive closure
+    of the member links.
+
+    The HM summarizability conditions are exposed:
+    - {e strictness}: every member rolls up to at most one member of
+      each ancestor category;
+    - {e homogeneity} (covering): every member of a category has at
+      least one parent in each immediate parent category. *)
+
+type t
+
+val all_member : Mdqa_relational.Value.t
+(** [Sym "all"], the unique member of category [All]. *)
+
+val make :
+  Dim_schema.t ->
+  members:(string * string list) list ->
+  links:(string * string) list ->
+  t
+(** [make schema ~members ~links]: [members] maps categories to member
+    names; [links] are (child member, parent member) pairs between
+    members of adjacent categories.  Members of maximal proper
+    categories are linked to [all] automatically.
+    @raise Invalid_argument on unknown categories, duplicate member
+    names across categories of the same dimension, or links whose
+    endpoints are not members of adjacent categories. *)
+
+val schema : t -> Dim_schema.t
+
+val members : t -> string -> Mdqa_relational.Value.t list
+(** Members of a category (sorted). @raise Not_found on unknown. *)
+
+val category_of : t -> Mdqa_relational.Value.t -> string option
+(** The category a member belongs to. *)
+
+val member_parents : t -> Mdqa_relational.Value.t -> Mdqa_relational.Value.t list
+(** Immediate parents of a member (across all parent categories). *)
+
+val member_children : t -> Mdqa_relational.Value.t -> Mdqa_relational.Value.t list
+
+val rollup :
+  t -> Mdqa_relational.Value.t -> to_category:string ->
+  Mdqa_relational.Value.t list
+(** Ancestors of the member within [to_category] (transitive).  Under
+    strictness this is empty or a singleton. *)
+
+val drilldown :
+  t -> Mdqa_relational.Value.t -> to_category:string ->
+  Mdqa_relational.Value.t list
+(** Descendants of the member within [to_category]. *)
+
+val is_strict : t -> bool
+val is_homogeneous : t -> bool
+
+val size : t -> int
+(** Total number of members, excluding [all]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,268 @@
+open Mdqa_datalog
+
+type navigation = Upward | Downward | Both | Static
+
+type form = Form4 | Form10
+
+type info = {
+  tgd : Tgd.t;
+  form : form;
+  navigation : navigation;
+  dimensions : string list;
+}
+
+type atom_class =
+  | Rel_atom  (* categorical relation *)
+  | Pc_atom of string * string * string  (* dimension, parent, child *)
+  | Cat_atom of string * string  (* dimension, category *)
+
+let classify_atom schema a =
+  let pred = Atom.pred a in
+  match Md_schema.relation schema pred with
+  | Some _ -> Ok Rel_atom
+  | None -> (
+    match Md_schema.parent_child_of_pred schema pred with
+    | Some (d, p, c) -> Ok (Pc_atom (d, p, c))
+    | None -> (
+      match Md_schema.category_of_pred schema pred with
+      | Some (d, c) -> Ok (Cat_atom (d, c))
+      | None -> Error (Printf.sprintf "unknown predicate %s" pred)))
+
+let is_categorical_position schema pred i =
+  match Md_schema.position_kind schema pred i with
+  | Some (Md_schema.Category_pos _) -> true
+  | Some Md_schema.Plain_pos | None -> false
+
+(* Variables occurring in at least two distinct body atoms. *)
+let shared_body_vars (tgd : Tgd.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      Term.Var_set.iter
+        (fun v ->
+          let atoms =
+            Option.value ~default:[] (Hashtbl.find_opt tbl v)
+          in
+          if not (List.mem i atoms) then Hashtbl.replace tbl v (i :: atoms))
+        (Atom.vars a))
+    tgd.Tgd.body;
+  Hashtbl.fold
+    (fun v atoms acc ->
+      if List.length atoms >= 2 then Term.Var_set.add v acc else acc)
+    tbl Term.Var_set.empty
+
+(* Positions of a variable across a list of atoms, with predicate. *)
+let var_occurrences atoms v =
+  List.concat_map
+    (fun a -> List.map (fun i -> (a, i)) (Atom.var_positions a v))
+    atoms
+
+(* Head categorical positions grouped by dimension: (dim, category). *)
+let categorical_categories schema atoms =
+  List.concat_map
+    (fun a ->
+      List.mapi (fun i _ -> i) (Atom.args a)
+      |> List.filter_map (fun i ->
+             match Md_schema.position_kind schema (Atom.pred a) i with
+             | Some (Md_schema.Category_pos { dimension; category }) ->
+               Some (dimension, category)
+             | _ -> None))
+    atoms
+
+let level_of schema (dim, cat) =
+  match Md_schema.dimension schema dim with
+  | Some d -> Dim_schema.level d cat
+  | None -> 0
+
+let analyze schema (tgd : Tgd.t) =
+  let ( let* ) = Result.bind in
+  (* Classify every atom. *)
+  let classify atoms =
+    List.fold_left
+      (fun acc a ->
+        let* acc = acc in
+        let* c = classify_atom schema a in
+        Ok ((a, c) :: acc))
+      (Ok []) atoms
+    |> Result.map List.rev
+  in
+  let* body = classify tgd.Tgd.body in
+  let* head = classify tgd.Tgd.head in
+  let head_rel_atoms =
+    List.filter_map (fun (a, c) -> if c = Rel_atom then Some a else None) head
+  in
+  let head_pc_atoms =
+    List.filter_map
+      (fun (a, c) ->
+        match c with Pc_atom (d, p, ch) -> Some (a, (d, p, ch)) | _ -> None)
+      head
+  in
+  let body_rel_atoms =
+    List.filter_map (fun (a, c) -> if c = Rel_atom then Some a else None) body
+  in
+  let body_pc_atoms =
+    List.filter_map
+      (fun (a, c) ->
+        match c with Pc_atom (d, p, ch) -> Some (a, (d, p, ch)) | _ -> None)
+      body
+  in
+  let* () =
+    if head_rel_atoms = [] then
+      Error "head contains no categorical relation atom"
+    else Ok ()
+  in
+  let* () =
+    if body_rel_atoms = [] then
+      Error "body contains no categorical relation atom"
+    else Ok ()
+  in
+  (* Existential variables and the kinds of their head positions. *)
+  let ex = Tgd.existential_vars tgd in
+  let ex_categorical =
+    Term.Var_set.filter
+      (fun z ->
+        List.exists
+          (fun (a, i) -> is_categorical_position schema (Atom.pred a) i)
+          (var_occurrences tgd.Tgd.head z))
+      ex
+  in
+  let form =
+    if head_pc_atoms <> [] || not (Term.Var_set.is_empty ex_categorical) then
+      Form10
+    else Form4
+  in
+  (* Side conditions. *)
+  let* () =
+    match form with
+    | Form4 ->
+      (* shared body variables only at categorical positions *)
+      let bad =
+        Term.Var_set.filter
+          (fun v ->
+            List.exists
+              (fun (a, i) ->
+                not (is_categorical_position schema (Atom.pred a) i))
+              (var_occurrences tgd.Tgd.body v))
+          (shared_body_vars tgd)
+      in
+      if Term.Var_set.is_empty bad then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "form (4): shared body variable %s occurs at a non-categorical \
+              position"
+             (Term.Var_set.min_elt bad))
+    | Form10 ->
+      (* body categorical levels must dominate head categorical levels *)
+      let body_cats = categorical_categories schema body_rel_atoms in
+      let head_cats = categorical_categories schema head_rel_atoms in
+      let ok =
+        List.for_all
+          (fun (d, ch) ->
+            List.exists
+              (fun (d', cb) ->
+                String.equal d d'
+                && level_of schema (d', cb) >= level_of schema (d, ch))
+              body_cats)
+          head_cats
+      in
+      if ok then Ok ()
+      else
+        Error
+          "form (10): a head categorical attribute is at a higher level than \
+           every body attribute of its dimension"
+  in
+  (* Navigation direction.  A parent-child atom participates in upward
+     navigation when its child end is (transitively) supplied by a body
+     categorical-relation atom and its parent end (transitively) flows
+     into the head — and symmetrically for downward.  Transitivity
+     matters: a rule may chain several parent-child atoms to climb more
+     than one level (Cell → Tower → Region). *)
+  let head_vars = Tgd.head_vars tgd in
+  let rel_vars =
+    List.fold_left
+      (fun acc a -> Term.Var_set.union acc (Atom.vars a))
+      Term.Var_set.empty body_rel_atoms
+  in
+  (* pc edges as (parent var, child var, dimension) when both are vars *)
+  let pc_edges =
+    List.filter_map
+      (fun (a, (d, _p, _c)) ->
+        match Atom.args a with
+        | [ Term.Var vp; Term.Var vc ] -> Some (vp, vc, d)
+        | _ -> None)
+      body_pc_atoms
+  in
+  (* closure of [start] under [step : edge -> (src, dst) option] *)
+  let closure start step =
+    let rec go frontier seen =
+      match frontier with
+      | [] -> seen
+      | x :: rest ->
+        let next =
+          List.filter_map
+            (fun e ->
+              match step e with
+              | Some (src, dst)
+                when String.equal src x && not (Term.Var_set.mem dst seen) ->
+                Some dst
+              | _ -> None)
+            pc_edges
+        in
+        go (next @ rest)
+          (List.fold_left (fun s y -> Term.Var_set.add y s) seen next)
+    in
+    go (Term.Var_set.elements start) start
+  in
+  (* upward: child -> parent; downward: parent -> child *)
+  let fwd_up = closure rel_vars (fun (p, c, _) -> Some (c, p)) in
+  let bwd_up = closure head_vars (fun (p, c, _) -> Some (p, c)) in
+  let fwd_down = closure rel_vars (fun (p, c, _) -> Some (p, c)) in
+  let bwd_down = closure head_vars (fun (p, c, _) -> Some (c, p)) in
+  let directions = ref [] in
+  List.iter
+    (fun (vp, vc, d) ->
+      if Term.Var_set.mem vc fwd_up && Term.Var_set.mem vp bwd_up then
+        directions := (`Up, d) :: !directions;
+      if Term.Var_set.mem vp fwd_down && Term.Var_set.mem vc bwd_down then
+        directions := (`Down, d) :: !directions)
+    pc_edges;
+  (* Head parent-child atoms (form 10) always generate downward. *)
+  List.iter (fun (_, (d, _, _)) -> directions := (`Down, d) :: !directions)
+    head_pc_atoms;
+  let ups = List.exists (fun (k, _) -> k = `Up) !directions in
+  let downs = List.exists (fun (k, _) -> k = `Down) !directions in
+  let navigation =
+    match ups, downs with
+    | true, true -> Both
+    | true, false -> Upward
+    | false, true -> Downward
+    | false, false -> Static
+  in
+  let dimensions =
+    List.sort_uniq String.compare (List.map snd !directions)
+  in
+  Ok { tgd; form; navigation; dimensions }
+
+let is_upward_only schema tgds =
+  List.for_all
+    (fun tgd ->
+      match analyze schema tgd with
+      | Ok { form = Form4; navigation = Upward | Static; _ } -> true
+      | _ -> false)
+    tgds
+
+let pp_info ppf i =
+  let nav =
+    match i.navigation with
+    | Upward -> "upward"
+    | Downward -> "downward"
+    | Both -> "both directions"
+    | Static -> "static"
+  in
+  Format.fprintf ppf "%s: form (%s), %s%s" i.tgd.Tgd.name
+    (match i.form with Form4 -> "4" | Form10 -> "10")
+    nav
+    (match i.dimensions with
+     | [] -> ""
+     | ds -> " via " ^ String.concat ", " ds)

@@ -1,0 +1,47 @@
+(** Analysis of TGDs as dimensional rules of the paper's forms (4) and
+    (10), with validation of their syntactic side conditions.
+
+    Form (4): single-atom head over a categorical relation; the body
+    joins categorical relations with parent-child atoms; existential
+    variables appear only at {e non-categorical} head positions; and
+    variables shared between body atoms appear only at categorical
+    positions (this is what puts the compiled ontology in weakly-sticky
+    Datalog±, §III).
+
+    Form (10): the head may contain parent-child atoms and the
+    existential variables may be {e categorical} (disjunctive knowledge
+    about, e.g., the unit a discharged patient was in); every
+    categorical attribute of the body must sit at a level ≥ the level
+    of the head's categorical attributes within the same dimension
+    (only downward generation, so only finitely many nulls).
+
+    Navigation direction (§III): for a parent-child body atom
+    [D(p, c)], the rule navigates {e upward} when the child variable is
+    supplied by a body categorical relation and the parent variable
+    flows to the head, and {e downward} in the mirrored case. *)
+
+type navigation =
+  | Upward
+  | Downward
+  | Both  (** distinct joins navigate in both directions *)
+  | Static  (** no parent-child join: no navigation *)
+
+type form = Form4 | Form10
+
+type info = {
+  tgd : Mdqa_datalog.Tgd.t;
+  form : form;
+  navigation : navigation;
+  dimensions : string list;  (** dimensions navigated, sorted *)
+}
+
+val analyze : Md_schema.t -> Mdqa_datalog.Tgd.t -> (info, string) result
+(** Classify and validate a TGD as a dimensional rule.  [Error]
+    explains the violated side condition (e.g. a shared variable at a
+    non-categorical position, or an unknown predicate). *)
+
+val is_upward_only : Md_schema.t -> Mdqa_datalog.Tgd.t list -> bool
+(** §IV's syntactic detection: every rule analyses to [Form4] with
+    [Upward] or [Static] navigation and no existential variables. *)
+
+val pp_info : Format.formatter -> info -> unit

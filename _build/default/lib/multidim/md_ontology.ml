@@ -1,0 +1,177 @@
+open Mdqa_datalog
+module R = Mdqa_relational
+
+type t = {
+  schema : Md_schema.t;
+  dim_instances : Dim_instance.t list;
+  data : R.Instance.t;
+  rules : Tgd.t list;
+  rule_infos : Dim_rule.info list;
+  egds : Egd.t list;
+  ncs : Nc.t list;
+}
+
+let make ~schema ~dim_instances ?data ?(rules = []) ?(egds = []) ?(ncs = [])
+    () =
+  (* Exactly one instance per dimension. *)
+  let dims = Md_schema.dimensions schema in
+  List.iter
+    (fun d ->
+      let n = Dim_schema.name d in
+      match
+        List.filter
+          (fun i -> String.equal (Dim_schema.name (Dim_instance.schema i)) n)
+          dim_instances
+      with
+      | [ _ ] -> ()
+      | [] ->
+        invalid_arg (Printf.sprintf "Md_ontology: no instance for dimension %s" n)
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Md_ontology: several instances for dimension %s" n))
+    dims;
+  if List.length dim_instances <> List.length dims then
+    invalid_arg "Md_ontology: instance for an undeclared dimension";
+  let data =
+    match data with Some d -> d | None -> R.Instance.create ()
+  in
+  (* Data relations must match declared schemas. *)
+  List.iter
+    (fun r ->
+      match Md_schema.relation schema (R.Relation.name r) with
+      | Some declared ->
+        if R.Rel_schema.arity declared <> R.Relation.arity r then
+          invalid_arg
+            (Printf.sprintf "Md_ontology: arity mismatch for relation %s"
+               (R.Relation.name r))
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Md_ontology: undeclared relation %s in data"
+             (R.Relation.name r)))
+    (R.Instance.relations data);
+  let rule_infos =
+    List.map
+      (fun tgd ->
+        match Dim_rule.analyze schema tgd with
+        | Ok info -> info
+        | Error e ->
+          invalid_arg
+            (Printf.sprintf "Md_ontology: rule %s: %s" tgd.Tgd.name e))
+      rules
+  in
+  { schema; dim_instances; data; rules; rule_infos; egds; ncs }
+
+let program t = Program.make ~tgds:t.rules ~egds:t.egds ~ncs:t.ncs ()
+
+let instance t =
+  let inst = R.Instance.copy t.data in
+  (* Declare all categorical relations (some may hold no data yet). *)
+  List.iter
+    (fun rs -> ignore (R.Instance.declare inst rs))
+    (Md_schema.relations t.schema);
+  (* Category membership facts. *)
+  List.iter
+    (fun di ->
+      let ds = Dim_instance.schema di in
+      List.iter
+        (fun cat ->
+          if cat <> Dim_schema.all then begin
+            let pred = Md_schema.category_pred cat in
+            let rel =
+              R.Instance.declare inst (R.Rel_schema.of_names pred [ "member" ])
+            in
+            List.iter
+              (fun m -> ignore (R.Relation.add rel (R.Tuple.of_list [ m ])))
+              (Dim_instance.members di cat)
+          end)
+        (Dim_schema.categories ds);
+      (* Parent-child facts per schema edge. *)
+      List.iter
+        (fun (child, parent) ->
+          if parent <> Dim_schema.all then begin
+            let pred = Md_schema.parent_child_pred ~parent ~child in
+            let rel =
+              R.Instance.declare inst
+                (R.Rel_schema.of_names pred [ "parent"; "child" ])
+            in
+            List.iter
+              (fun m ->
+                List.iter
+                  (fun p ->
+                    if Dim_instance.category_of di p = Some parent then
+                      ignore (R.Relation.add rel (R.Tuple.of_list [ p; m ])))
+                  (Dim_instance.member_parents di m))
+              (Dim_instance.members di child)
+          end)
+        (Dim_schema.edges ds))
+    t.dim_instances;
+  inst
+
+type referential_violation = {
+  relation : string;
+  position : int;
+  tuple : R.Tuple.t;
+  expected : string * string;
+}
+
+let referential_violations t =
+  let out = ref [] in
+  List.iter
+    (fun rel ->
+      let name = R.Relation.name rel in
+      match Md_schema.relation t.schema name with
+      | None -> ()
+      | Some rs ->
+        List.iter
+          (fun i ->
+            match R.Attribute.kind (R.Rel_schema.attribute rs i) with
+            | R.Attribute.Plain -> ()
+            | R.Attribute.Categorical { dimension; category } ->
+              let di =
+                List.find_opt
+                  (fun d ->
+                    String.equal
+                      (Dim_schema.name (Dim_instance.schema d))
+                      dimension)
+                  t.dim_instances
+              in
+              R.Relation.iter
+                (fun tuple ->
+                  let v = R.Tuple.get tuple i in
+                  let ok =
+                    match di with
+                    | Some d -> Dim_instance.category_of d v = Some category
+                    | None -> false
+                  in
+                  if not ok then
+                    out :=
+                      { relation = name;
+                        position = i;
+                        tuple;
+                        expected = (dimension, category) }
+                      :: !out)
+                rel)
+          (R.Rel_schema.categorical_positions rs))
+    (R.Instance.relations t.data);
+  List.rev !out
+
+let chase ?variant ?max_steps ?max_nulls t =
+  Chase.run ?variant ?max_steps ?max_nulls (program t) (instance t)
+
+let certain_answers t q = Query.certain_answers (program t) (instance t) q
+
+let proof_answers t q = Proof.answer (program t) (instance t) q
+
+let rewrite_answers t q = Rewrite.answers (program t) (instance t) q
+
+let is_upward_only t = Dim_rule.is_upward_only t.schema t.rules
+
+let classes t = Classes.classify (program t)
+
+let separability t =
+  Separability.within_positions (program t)
+    ~closed:(Md_schema.categorical_positions t.schema)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s%a: position %d not a member of %s.%s" v.relation
+    R.Tuple.pp v.tuple v.position (fst v.expected) (snd v.expected)

@@ -1,0 +1,38 @@
+(** Data-level dimensional navigation: roll-up and drill-down of
+    categorical relations along a dimension (paper §I, Examples 1–2).
+
+    These are the direct relational counterparts of dimensional rules
+    (7) and (8): [rollup] re-expresses a categorical attribute at a
+    higher category, [drilldown] at a lower one, multiplying tuples by
+    the number of children and leaving unknown attributes as labeled
+    nulls.  The test suite checks they agree with compiling the
+    corresponding rule and chasing. *)
+
+val rollup :
+  Dim_instance.t ->
+  relation:Mdqa_relational.Relation.t ->
+  position:int ->
+  to_category:string ->
+  ?name:string ->
+  unit ->
+  Mdqa_relational.Relation.t
+(** [rollup di ~relation ~position ~to_category ()] maps the member at
+    [position] of every tuple to its ancestor(s) in [to_category]; one
+    output tuple per ancestor (exactly one under strictness); tuples
+    whose member has no ancestor there are dropped.  The attribute at
+    [position] is re-linked to [to_category]. *)
+
+val drilldown :
+  Dim_instance.t ->
+  relation:Mdqa_relational.Relation.t ->
+  position:int ->
+  to_category:string ->
+  ?null_positions:int list ->
+  ?fresh:Mdqa_relational.Value.Fresh.gen ->
+  ?name:string ->
+  unit ->
+  Mdqa_relational.Relation.t
+(** One output tuple per descendant of the member at [position];
+    attributes listed in [null_positions] are replaced by a fresh
+    labeled null per output tuple (the incomplete lower-level data of
+    rule (8)). *)

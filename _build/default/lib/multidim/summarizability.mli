@@ -1,0 +1,41 @@
+(** Summarizability diagnosis in the HM style (Hurtado–Gutierrez–
+    Mendelzon, TODS 2005): aggregating at a higher category from
+    pre-aggregated results at a lower one is correct exactly when the
+    roll-up between the two is strict (no double counting) and covering
+    (no lost members).
+
+    This module reports, per category pair, the members violating
+    either condition — the diagnosis backing the sales/OLAP example and
+    the Figure 1 report. *)
+
+type violation =
+  | Non_strict of {
+      member : Mdqa_relational.Value.t;
+      category : string;
+      ancestor_category : string;
+      ancestors : Mdqa_relational.Value.t list;
+          (** ≥ 2 distinct ancestors *)
+    }
+  | Non_covering of {
+      member : Mdqa_relational.Value.t;
+      category : string;
+      parent_category : string;  (** no parent there *)
+    }
+
+type report = {
+  strict : bool;
+  homogeneous : bool;
+  violations : violation list;
+}
+
+val diagnose : Dim_instance.t -> report
+
+val summarizable :
+  Dim_instance.t -> from_category:string -> to_category:string -> bool
+(** Can aggregates at [from_category] be correctly combined into
+    aggregates at [to_category]?  True iff the roll-up between the two
+    is functional (strict) and total (covering) on the members of
+    [from_category]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

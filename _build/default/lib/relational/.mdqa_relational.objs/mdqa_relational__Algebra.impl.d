@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Attribute Fun Hashtbl List Option Printf Rel_schema Relation Tuple Value

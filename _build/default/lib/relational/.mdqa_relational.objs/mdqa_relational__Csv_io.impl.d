@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Attribute Buffer Fun List Printf Rel_schema Relation String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Format Hashtbl List Printf Rel_schema Relation String

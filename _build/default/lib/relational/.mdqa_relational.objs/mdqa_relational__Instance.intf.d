@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Format Rel_schema Relation Tuple Value

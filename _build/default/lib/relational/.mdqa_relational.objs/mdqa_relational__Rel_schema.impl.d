@@ -1,0 +1,1 @@
+lib/relational/rel_schema.ml: Array Attribute Format Hashtbl Int List Printf String

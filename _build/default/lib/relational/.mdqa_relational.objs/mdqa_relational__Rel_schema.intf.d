@@ -1,0 +1,1 @@
+lib/relational/rel_schema.mli: Attribute Format

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format Hashtbl List Printf Rel_schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table_fmt.ml: Attribute Buffer List Printf Rel_schema Relation String Tuple Value

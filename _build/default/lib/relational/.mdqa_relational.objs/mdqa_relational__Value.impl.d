@@ -1,0 +1,1 @@
+lib/relational/value.ml: Float Format Fun Hashtbl Int Map Scanf Set String

@@ -1,0 +1,37 @@
+type kind =
+  | Plain
+  | Categorical of { dimension : string; category : string }
+
+type t = { name : string; kind : kind }
+
+let plain name = { name; kind = Plain }
+
+let categorical name ~dimension ~category =
+  { name; kind = Categorical { dimension; category } }
+
+let name a = a.name
+let kind a = a.kind
+
+let is_categorical a =
+  match a.kind with Categorical _ -> true | Plain -> false
+
+let compare_kind k1 k2 =
+  match k1, k2 with
+  | Plain, Plain -> 0
+  | Plain, Categorical _ -> -1
+  | Categorical _, Plain -> 1
+  | Categorical c1, Categorical c2 ->
+    let c = String.compare c1.dimension c2.dimension in
+    if c <> 0 then c else String.compare c1.category c2.category
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else compare_kind a.kind b.kind
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  match a.kind with
+  | Plain -> Format.pp_print_string ppf a.name
+  | Categorical { dimension; category } ->
+    Format.fprintf ppf "%s@%s.%s" a.name dimension category

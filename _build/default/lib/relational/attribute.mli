@@ -1,0 +1,30 @@
+(** Attributes of relation schemas.
+
+    The extended multidimensional model distinguishes {e categorical}
+    attributes — whose values are members of a category of some
+    dimension — from ordinary ({e plain}) attributes whose values come
+    from an arbitrary domain.  The relational substrate records the
+    distinction so the upper layers can validate rules and constraints;
+    it does not interpret it. *)
+
+type kind =
+  | Plain  (** non-categorical attribute: arbitrary domain *)
+  | Categorical of { dimension : string; category : string }
+      (** attribute whose values are members of [category] in
+          [dimension] *)
+
+type t = { name : string; kind : kind }
+
+val plain : string -> t
+val categorical : string -> dimension:string -> category:string -> t
+
+val name : t -> string
+val kind : t -> kind
+val is_categorical : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [name] for plain attributes and [name@dimension.category]
+    for categorical ones. *)

@@ -1,0 +1,117 @@
+let needs_quote s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let cell_of_value v =
+  let s = Value.to_string v in
+  if needs_quote s then quote s else s
+
+let value_of_cell s = Value.of_string s
+
+(* Split one CSV line honouring double-quoted cells. *)
+let split_line line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let rec go i in_quotes =
+    if i >= n then begin
+      cells := Buffer.contents buf :: !cells
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' then go (i + 1) true
+      else if c = ',' then begin
+        cells := Buffer.contents buf :: !cells;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !cells
+
+let relation_to_string r =
+  let s = Relation.schema r in
+  let buf = Buffer.create 256 in
+  let header =
+    List.map
+      (fun a ->
+        let n = Attribute.name a in
+        if needs_quote n then quote n else n)
+      (Rel_schema.attributes s)
+  in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat "," (List.map cell_of_value (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    r;
+  Buffer.contents buf
+
+let relation_of_string ~name text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           (* tolerate CRLF *)
+           if l <> "" && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> failwith "Csv_io.relation_of_string: empty input"
+  | header :: rows ->
+    let attrs = List.map Attribute.plain (split_line header) in
+    let schema = Rel_schema.make name attrs in
+    let r = Relation.create schema in
+    List.iteri
+      (fun k line ->
+        let cells = split_line line in
+        if List.length cells <> Rel_schema.arity schema then
+          failwith
+            (Printf.sprintf
+               "Csv_io.relation_of_string: row %d has %d cells, want %d"
+               (k + 1) (List.length cells) (Rel_schema.arity schema));
+        ignore (Relation.add r (Tuple.of_list (List.map value_of_cell cells))))
+      rows;
+    r
+
+let save_relation path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (relation_to_string r))
+
+let load_relation ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      relation_of_string ~name text)

@@ -1,0 +1,23 @@
+(** Minimal CSV-style persistence for relations and instances.
+
+    Format: one header line with attribute names, then one line per
+    tuple.  Cells are separated by commas; cells containing commas,
+    quotes or newlines are double-quoted with ["" ] escaping.  Values
+    are parsed back with {!Value.of_string} (so numbers round-trip as
+    numbers, nulls as nulls). *)
+
+val cell_of_value : Value.t -> string
+val value_of_cell : string -> Value.t
+
+val relation_to_string : Relation.t -> string
+
+val relation_of_string : name:string -> string -> Relation.t
+(** Parse a relation from CSV text; the schema is all-plain attributes
+    named by the header.
+    @raise Failure on ragged rows or empty input. *)
+
+val save_relation : string -> Relation.t -> unit
+(** [save_relation path r] writes [r] to [path]. *)
+
+val load_relation : name:string -> string -> Relation.t
+(** [load_relation ~name path]. @raise Sys_error / Failure. *)

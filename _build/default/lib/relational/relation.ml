@@ -1,0 +1,134 @@
+type bucket = { mutable size : int; mutable items : Tuple.t list }
+
+type index = (Value.t, bucket) Hashtbl.t
+
+type t = {
+  schema : Rel_schema.t;
+  mutable tuples : Tuple.Set.t;
+  mutable indexes : (int * index) list;  (* one per position, built lazily *)
+}
+
+let create schema = { schema; tuples = Tuple.Set.empty; indexes = [] }
+
+let schema r = r.schema
+let name r = Rel_schema.name r.schema
+let arity r = Rel_schema.arity r.schema
+let cardinal r = Tuple.Set.cardinal r.tuples
+let is_empty r = Tuple.Set.is_empty r.tuples
+
+let index_insert (idx : index) key t =
+  match Hashtbl.find_opt idx key with
+  | Some b ->
+    b.size <- b.size + 1;
+    b.items <- t :: b.items
+  | None -> Hashtbl.add idx key { size = 1; items = [ t ] }
+
+let build_index r pos =
+  let idx : index = Hashtbl.create (max 16 (cardinal r)) in
+  Tuple.Set.iter (fun t -> index_insert idx (Tuple.get t pos) t) r.tuples;
+  r.indexes <- (pos, idx) :: r.indexes;
+  idx
+
+let find_index r pos = List.assoc_opt pos r.indexes
+
+let check_arity r t =
+  if Tuple.arity t <> arity r then
+    invalid_arg
+      (Printf.sprintf "Relation %s: arity mismatch (schema %d, tuple %d)"
+         (name r) (arity r) (Tuple.arity t))
+
+let add r t =
+  check_arity r t;
+  if Tuple.Set.mem t r.tuples then false
+  else begin
+    r.tuples <- Tuple.Set.add t r.tuples;
+    List.iter (fun (pos, idx) -> index_insert idx (Tuple.get t pos) t)
+      r.indexes;
+    true
+  end
+
+let of_tuples schema ts =
+  let r = create schema in
+  List.iter (fun t -> ignore (add r t)) ts;
+  r
+
+let mem r t = Tuple.Set.mem t r.tuples
+
+let remove r t =
+  if not (Tuple.Set.mem t r.tuples) then false
+  else begin
+    r.tuples <- Tuple.Set.remove t r.tuples;
+    (* Dropping the indexes is simpler than deleting from per-value
+       buckets; removals are rare (EGD merges rebuild wholesale). *)
+    r.indexes <- [];
+    true
+  end
+
+let iter f r = Tuple.Set.iter f r.tuples
+let fold f r init = Tuple.Set.fold f r.tuples init
+let to_list r = Tuple.Set.elements r.tuples
+let to_set r = r.tuples
+
+let empty_bucket = { size = 0; items = [] }
+
+(* The index bucket for one bound position (built on demand). *)
+let bucket r (pos, v) =
+  let idx =
+    match find_index r pos with Some i -> i | None -> build_index r pos
+  in
+  match Hashtbl.find_opt idx v with Some b -> b | None -> empty_bucket
+
+(* Pick the most selective bound position: smallest index bucket. *)
+let best_bucket r binding =
+  match binding with
+  | [] -> None
+  | b0 :: rest ->
+    let best =
+      List.fold_left
+        (fun ((_, best_b) as best) b ->
+          let c = bucket r b in
+          if c.size < best_b.size then (b, c) else best)
+        (b0, bucket r b0) rest
+    in
+    Some best
+
+let scan r binding =
+  match best_bucket r binding with
+  | None -> to_list r
+  | Some (chosen, b) ->
+    let rest = List.filter (fun bd -> bd != chosen) binding in
+    if rest = [] then b.items
+    else
+      List.filter
+        (fun t ->
+          List.for_all (fun (p, x) -> Value.equal (Tuple.get t p) x) rest)
+        b.items
+
+let scan_estimate r binding =
+  match best_bucket r binding with
+  | None -> cardinal r
+  | Some (_, b) -> b.size
+
+let map_values r f =
+  let tuples' =
+    Tuple.Set.fold
+      (fun t acc -> Tuple.Set.add (Tuple.map f t) acc)
+      r.tuples Tuple.Set.empty
+  in
+  r.tuples <- tuples';
+  r.indexes <- []
+
+let filter p r =
+  let r' = create r.schema in
+  iter (fun t -> if p t then ignore (add r' t)) r;
+  r'
+
+let copy r = { schema = r.schema; tuples = r.tuples; indexes = [] }
+
+let equal a b =
+  Rel_schema.equal a.schema b.schema && Tuple.Set.equal a.tuples b.tuples
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v2>%s = {" (name r);
+  iter (fun t -> Format.fprintf ppf "@,%a" Tuple.pp t) r;
+  Format.fprintf ppf "@]@,}"

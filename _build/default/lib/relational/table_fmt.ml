@@ -1,0 +1,67 @@
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let render_rows ?title ~header rows =
+  let cols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> cols then
+        invalid_arg
+          (Printf.sprintf "Table_fmt.render_rows: row %d has %d cells, want %d"
+             i (List.length row) cols))
+    rows;
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let line c =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) c) widths)
+    ^ "+"
+  in
+  let render_row row =
+    "| "
+    ^ String.concat " | " (List.map2 (fun w c -> pad c w) widths row)
+    ^ " |"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render ?title ?(numbered = true) r =
+  let s = Relation.schema r in
+  let header =
+    List.map Attribute.name (Rel_schema.attributes s)
+  in
+  let header = if numbered then "#" :: header else header in
+  let rows =
+    List.mapi
+      (fun i t ->
+        let cells = List.map Value.to_string (Tuple.to_list t) in
+        if numbered then string_of_int (i + 1) :: cells else cells)
+      (Relation.to_list r)
+  in
+  let title =
+    match title with Some t -> Some t | None -> Some (Relation.name r)
+  in
+  render_rows ?title ~header rows
+
+let print ?title ?numbered r = print_string (render ?title ?numbered r)

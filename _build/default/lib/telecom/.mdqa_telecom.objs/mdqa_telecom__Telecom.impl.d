@@ -1,0 +1,1 @@
+lib/telecom/telecom.ml: Atom Dim_instance Dim_schema Egd List Md_ontology Md_schema Mdqa_context Mdqa_datalog Mdqa_multidim Mdqa_relational Nc Printf Query Term Tgd

@@ -1,0 +1,1 @@
+lib/telecom/telecom.mli: Dim_instance Dim_schema Md_ontology Md_schema Mdqa_context Mdqa_datalog Mdqa_multidim Mdqa_relational

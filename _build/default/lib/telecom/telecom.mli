@@ -1,0 +1,81 @@
+(** A second complete worked domain: call-detail-record (CDR) quality
+    in a mobile network.
+
+    This fixture exercises the parts of the multidimensional model the
+    hospital example does not:
+
+    - a {e non-linear} (DAG) dimension: [Calendar] rolls days up both
+      the [Day → Week → Year] and the [Day → Month → Year] paths;
+    - a dimensional rule navigating {e two dimensions at once}
+      (tower → cell on [Network] and week → day on [Calendar]);
+    - aggregation along the two alternative roll-up paths of the DAG.
+
+    The story: the operator records CDRs per cell and day.  Tower
+    inspections are logged per {e week} at the {e tower} level
+    ([tower_checked]); the institutional quality requirement is that a
+    CDR counts only if its cell's tower was inspected during the week
+    of the call.  Whether a {e cell} is covered on a {e day} is derived
+    by downward navigation on both dimensions ([cell_checked]).  An
+    inter-dimensional constraint forbids traffic in the decommissioned
+    south region during the second month. *)
+
+open Mdqa_multidim
+
+(** {1 Dimensions} *)
+
+val network_dim : Dim_schema.t
+(** Cell → Tower → Region (linear). *)
+
+val calendar_dim : Dim_schema.t
+(** Day → Week → Year and Day → Month → Year (a DAG). *)
+
+val network_instance : Dim_instance.t
+(** 8 cells / 4 towers / 2 regions. *)
+
+val calendar_instance : Dim_instance.t
+(** 28 days; 4 weeks; 2 months; 1 year — strict and homogeneous on both
+    paths. *)
+
+(** {1 Schema and data} *)
+
+val md_schema : Md_schema.t
+
+val tower_checked : Mdqa_relational.Relation.t
+(** Inspection log at (Tower, Week) level. *)
+
+val cdr : Mdqa_relational.Relation.t
+(** The instance under assessment: (day, caller, cell, duration). *)
+
+val cdr_bad_region : Mdqa_relational.Relation.t
+(** [cdr] plus a south-region call in month m2 — violates the
+    decommissioning constraint. *)
+
+(** {1 Rules and constraints} *)
+
+val rule_cell_checked : Mdqa_datalog.Tgd.t
+(** [cell_checked(C, D) :- tower_checked(TW, WK, CREW),
+    tower_cell(TW, C), week_day(WK, D)] — downward on {e both}
+    dimensions. *)
+
+val rule_region_activity : Mdqa_datalog.Tgd.t
+(** [region_activity(R, M) :- cdr_fact(...), tower_cell(TW, C),
+    region_tower(R, TW), month_day(M, D)] — upward on both. *)
+
+val egd_one_crew : Mdqa_datalog.Egd.t
+(** One crew per tower per week. *)
+
+val nc_south_decommissioned : Mdqa_datalog.Nc.t
+(** No south-region traffic in month m2. *)
+
+(** {1 Ontology, context, queries} *)
+
+val ontology : ?bad_region:bool -> unit -> Md_ontology.t
+val source : ?bad_region:bool -> unit -> Mdqa_relational.Instance.t
+val context : ?bad_region:bool -> unit -> Mdqa_context.Context.t
+
+val caller_query : Mdqa_datalog.Query.t
+(** The calls of caller [alice] in week w2 (via the day members). *)
+
+val expected_quality_days : string list
+(** The days whose CDRs survive the quality requirement, for the
+    fixture data — used by tests and the example. *)

@@ -1,0 +1,1 @@
+test/test_hospital.ml: Alcotest Assessment Atom Chase Context Lazy List Mdqa_context Mdqa_datalog Mdqa_hospital Mdqa_multidim Mdqa_relational Proof Query Term

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Csv_io Filename Format Fun Instance List Mdqa_relational Printf QCheck QCheck_alcotest Rel_schema Relation String Sys Table_fmt Tuple Value

@@ -1,0 +1,1 @@
+test/test_tutorial.ml: Alcotest Atom Dim_instance Dim_rule Dim_schema Explain List Md_ontology Md_schema Mdqa_context Mdqa_datalog Mdqa_multidim Mdqa_relational Query Term Tgd

@@ -1,0 +1,435 @@
+(* Tests for the relational substrate: values, tuples, relations,
+   instances, algebra, table formatting, CSV round-trips. *)
+
+open Mdqa_relational
+
+let v_sym s = Value.sym s
+let v_int i = Value.int i
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let tuple_testable = Alcotest.testable Tuple.pp Tuple.equal
+
+let tup vs = Tuple.of_list vs
+let syms ss = tup (List.map v_sym ss)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "sym < int" true (Value.compare (v_sym "z") (v_int 0) < 0);
+  Alcotest.(check bool) "int < real" true
+    (Value.compare (v_int 5) (Value.real 1.0) < 0);
+  Alcotest.(check bool) "const < null" true
+    (Value.compare (Value.real 9.9) (Value.Null 1) < 0);
+  Alcotest.(check bool) "null by label" true
+    (Value.compare (Value.Null 1) (Value.Null 2) < 0)
+
+let test_value_null_predicates () =
+  Alcotest.(check bool) "null is null" true (Value.is_null (Value.Null 3));
+  Alcotest.(check bool) "sym not null" false (Value.is_null (v_sym "a"));
+  Alcotest.(check bool) "sym is constant" true (Value.is_constant (v_sym "a"));
+  Alcotest.(check bool) "null not constant" false
+    (Value.is_constant (Value.Null 3))
+
+let test_value_string_roundtrip () =
+  let cases =
+    [ v_sym "Tom"; v_sym "Tom Waits"; v_int 42; v_int (-7); Value.real 37.5;
+      Value.Null 12; v_sym "W1"; v_sym "Sep/5-12:10" ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.check value_testable
+        (Format.asprintf "roundtrip %a" Value.pp v)
+        v
+        (Value.of_string (Value.to_string v)))
+    cases
+
+let test_value_of_string_forms () =
+  Alcotest.check value_testable "underscore null" (Value.Null 7)
+    (Value.of_string "_:7");
+  Alcotest.check value_testable "int" (v_int 10) (Value.of_string "10");
+  Alcotest.check value_testable "real" (Value.real 1.5) (Value.of_string "1.5");
+  Alcotest.check value_testable "bare sym" (v_sym "ward") (Value.of_string "ward")
+
+let test_fresh_gen () =
+  let g = Value.Fresh.create () in
+  let a = Value.Fresh.next g and b = Value.Fresh.next g in
+  Alcotest.(check bool) "distinct" false (Value.equal a b);
+  Alcotest.(check int) "count" 2 (Value.Fresh.count g);
+  let g2 = Value.Fresh.create ~start:100 () in
+  Alcotest.check value_testable "start respected" (Value.Null 100)
+    (Value.Fresh.next g2)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let test_tuple_basic () =
+  let t = syms [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.check value_testable "get" (v_sym "b") (Tuple.get t 1);
+  Alcotest.check tuple_testable "set" (syms [ "a"; "x"; "c" ])
+    (Tuple.set t 1 (v_sym "x"));
+  Alcotest.check tuple_testable "set leaves original" (syms [ "a"; "b"; "c" ]) t
+
+let test_tuple_project_append () =
+  let t = syms [ "a"; "b"; "c"; "d" ] in
+  Alcotest.check tuple_testable "project" (syms [ "d"; "b" ])
+    (Tuple.project t [ 3; 1 ]);
+  Alcotest.check tuple_testable "append"
+    (syms [ "a"; "b"; "c"; "d"; "x" ])
+    (Tuple.append t (syms [ "x" ]))
+
+let test_tuple_has_null () =
+  Alcotest.(check bool) "no null" false (Tuple.has_null (syms [ "a" ]));
+  Alcotest.(check bool) "null" true
+    (Tuple.has_null (tup [ v_sym "a"; Value.Null 1 ]))
+
+let test_tuple_bounds () =
+  let t = syms [ "a" ] in
+  Alcotest.check_raises "get oob"
+    (Invalid_argument "Tuple.get: position 1 out of range") (fun () ->
+      ignore (Tuple.get t 1))
+
+(* ------------------------------------------------------------------ *)
+(* Relation / Instance *)
+
+let schema_ab = Rel_schema.of_names "r" [ "a"; "b" ]
+
+let test_relation_add_mem () =
+  let r = Relation.create schema_ab in
+  Alcotest.(check bool) "first add" true (Relation.add r (syms [ "x"; "y" ]));
+  Alcotest.(check bool) "dup add" false (Relation.add r (syms [ "x"; "y" ]));
+  Alcotest.(check bool) "mem" true (Relation.mem r (syms [ "x"; "y" ]));
+  Alcotest.(check int) "cardinal" 1 (Relation.cardinal r)
+
+let test_relation_arity_check () =
+  let r = Relation.create schema_ab in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Relation r: arity mismatch (schema 2, tuple 1)")
+    (fun () -> ignore (Relation.add r (syms [ "x" ])))
+
+let test_relation_scan () =
+  let r = Relation.create schema_ab in
+  ignore (Relation.add r (syms [ "x"; "1" ]));
+  ignore (Relation.add r (syms [ "x"; "2" ]));
+  ignore (Relation.add r (syms [ "y"; "1" ]));
+  Alcotest.(check int) "scan x" 2
+    (List.length (Relation.scan r [ (0, v_sym "x") ]));
+  Alcotest.(check int) "scan x,2" 1
+    (List.length (Relation.scan r [ (0, v_sym "x"); (1, v_sym "2") ]));
+  Alcotest.(check int) "scan none" 0
+    (List.length (Relation.scan r [ (0, v_sym "zz") ]));
+  Alcotest.(check int) "scan all" 3 (List.length (Relation.scan r []))
+
+let test_relation_scan_after_add () =
+  (* Index maintenance: scans stay correct after further inserts. *)
+  let r = Relation.create schema_ab in
+  ignore (Relation.add r (syms [ "x"; "1" ]));
+  ignore (Relation.scan r [ (0, v_sym "x") ]);
+  ignore (Relation.add r (syms [ "x"; "2" ]));
+  Alcotest.(check int) "post-insert scan" 2
+    (List.length (Relation.scan r [ (0, v_sym "x") ]))
+
+let test_relation_map_values () =
+  let r = Relation.create schema_ab in
+  ignore (Relation.add r (tup [ Value.Null 1; v_sym "k" ]));
+  ignore (Relation.add r (tup [ v_sym "c"; v_sym "k" ]));
+  Relation.map_values r (fun v ->
+      if Value.equal v (Value.Null 1) then v_sym "c" else v);
+  Alcotest.(check int) "merged" 1 (Relation.cardinal r);
+  Alcotest.(check bool) "contains merged" true
+    (Relation.mem r (syms [ "c"; "k" ]))
+
+let test_relation_remove () =
+  let r = Relation.create schema_ab in
+  ignore (Relation.add r (syms [ "x"; "1" ]));
+  Alcotest.(check bool) "remove" true (Relation.remove r (syms [ "x"; "1" ]));
+  Alcotest.(check bool) "remove absent" false
+    (Relation.remove r (syms [ "x"; "1" ]));
+  Alcotest.(check int) "empty" 0 (Relation.cardinal r)
+
+let test_instance_declare () =
+  let i = Instance.create () in
+  let r = Instance.declare i schema_ab in
+  Alcotest.(check bool) "same relation back" true
+    (r == Instance.declare i schema_ab);
+  Alcotest.check_raises "schema clash"
+    (Invalid_argument "Instance.declare: schema clash for r") (fun () ->
+      ignore (Instance.declare i (Rel_schema.of_names "r" [ "a" ])))
+
+let test_instance_copy_independent () =
+  let i = Instance.create () in
+  ignore (Instance.declare i schema_ab);
+  ignore (Instance.add_tuple i "r" (syms [ "x"; "y" ]));
+  let j = Instance.copy i in
+  ignore (Instance.add_tuple j "r" (syms [ "p"; "q" ]));
+  Alcotest.(check int) "original unchanged" 1
+    (Relation.cardinal (Instance.get i "r"));
+  Alcotest.(check int) "copy extended" 2
+    (Relation.cardinal (Instance.get j "r"));
+  Alcotest.(check bool) "equal detects difference" false (Instance.equal i j)
+
+let test_instance_merge () =
+  let i = Instance.create () in
+  ignore (Instance.declare i schema_ab);
+  ignore (Instance.add_tuple i "r" (syms [ "x"; "y" ]));
+  let j = Instance.create () in
+  ignore (Instance.declare j schema_ab);
+  ignore (Instance.add_tuple j "r" (syms [ "p"; "q" ]));
+  ignore (Instance.declare j (Rel_schema.of_names "s" [ "c" ]));
+  ignore (Instance.add_tuple j "s" (syms [ "z" ]));
+  Instance.merge_into ~dst:i ~src:j;
+  Alcotest.(check int) "r merged" 2 (Relation.cardinal (Instance.get i "r"));
+  Alcotest.(check int) "s created" 1 (Relation.cardinal (Instance.get i "s"));
+  Alcotest.(check int) "total" 3 (Instance.total_tuples i)
+
+(* ------------------------------------------------------------------ *)
+(* Algebra *)
+
+let rel name rows =
+  let arity = match rows with [] -> 0 | r :: _ -> List.length r in
+  let schema =
+    Rel_schema.of_names name (List.init arity (Printf.sprintf "c%d"))
+  in
+  Relation.of_tuples schema (List.map syms rows)
+
+let sorted_rows r =
+  List.map
+    (fun t -> List.map Value.to_string (Tuple.to_list t))
+    (Relation.to_list r)
+
+let rows_testable = Alcotest.(list (list string))
+
+let test_algebra_select_project () =
+  let r = rel "r" [ [ "a"; "p" ]; [ "b"; "q" ]; [ "a"; "r" ] ] in
+  let sel = Algebra.select_eq 0 (v_sym "a") r in
+  Alcotest.check rows_testable "select" [ [ "a"; "p" ]; [ "a"; "r" ] ]
+    (sorted_rows sel);
+  let proj = Algebra.project [ 0 ] r in
+  Alcotest.check rows_testable "project dedups" [ [ "a" ]; [ "b" ] ]
+    (sorted_rows proj)
+
+let test_algebra_union_diff_intersect () =
+  let r = rel "r" [ [ "a" ]; [ "b" ] ] and s = rel "s" [ [ "b" ]; [ "c" ] ] in
+  Alcotest.check rows_testable "union" [ [ "a" ]; [ "b" ]; [ "c" ] ]
+    (sorted_rows (Algebra.union r s));
+  Alcotest.check rows_testable "diff" [ [ "a" ] ]
+    (sorted_rows (Algebra.diff r s));
+  Alcotest.check rows_testable "intersect" [ [ "b" ] ]
+    (sorted_rows (Algebra.intersect r s))
+
+let test_algebra_join () =
+  let r = rel "r" [ [ "a"; "p" ]; [ "b"; "q" ] ] in
+  let s = rel "s" [ [ "p"; "x" ]; [ "p"; "y" ]; [ "r"; "z" ] ] in
+  let j = Algebra.join [ (1, 0) ] r s in
+  Alcotest.check rows_testable "join"
+    [ [ "a"; "p"; "p"; "x" ]; [ "a"; "p"; "p"; "y" ] ]
+    (sorted_rows j)
+
+let test_algebra_natural_join () =
+  let rs = Rel_schema.of_names "r" [ "w"; "p" ] in
+  let ss = Rel_schema.of_names "s" [ "u"; "w" ] in
+  let r =
+    Relation.of_tuples rs [ syms [ "W1"; "tom" ]; syms [ "W3"; "lou" ] ]
+  in
+  let s =
+    Relation.of_tuples ss [ syms [ "Std"; "W1" ]; syms [ "Std"; "W2" ] ]
+  in
+  let j = Algebra.natural_join r s in
+  Alcotest.(check int) "one match" 1 (Relation.cardinal j);
+  Alcotest.(check int) "common attr kept once" 3 (Relation.arity j);
+  Alcotest.check rows_testable "content" [ [ "W1"; "tom"; "Std" ] ]
+    (sorted_rows j)
+
+let test_algebra_product () =
+  let r = rel "r" [ [ "a" ]; [ "b" ] ] and s = rel "s" [ [ "x" ] ] in
+  Alcotest.(check int) "product size" 2
+    (Relation.cardinal (Algebra.product r s))
+
+let test_algebra_inputs_unchanged () =
+  let r = rel "r" [ [ "a"; "p" ] ] in
+  ignore (Algebra.project [ 0 ] r);
+  ignore (Algebra.select_eq 0 (v_sym "a") r);
+  Alcotest.(check int) "input intact" 1 (Relation.cardinal r);
+  Alcotest.(check int) "input arity intact" 2 (Relation.arity r)
+
+(* ------------------------------------------------------------------ *)
+(* Table_fmt / Csv_io *)
+
+let test_table_render () =
+  let r = rel "t" [ [ "a"; "p" ] ] in
+  let s = Table_fmt.render ~title:"T" r in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "has row number" true
+    (String.exists (fun c -> c = '1') s);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "at least 6 lines" true (List.length lines >= 6)
+
+let test_table_render_ragged_rejected () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Table_fmt.render_rows: row 0 has 1 cells, want 2")
+    (fun () -> ignore (Table_fmt.render_rows ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let test_csv_roundtrip () =
+  let schema = Rel_schema.of_names "m" [ "time"; "patient"; "value" ] in
+  let r =
+    Relation.of_tuples schema
+      [ tup [ v_sym "Sep/5-12:10"; v_sym "Tom Waits"; Value.real 38.2 ];
+        tup [ v_sym "Sep/6-11:50"; v_sym "Tom, Waits"; Value.Null 4 ] ]
+  in
+  let r' = Csv_io.relation_of_string ~name:"m" (Csv_io.relation_to_string r) in
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r');
+  Alcotest.(check bool) "tuples preserved" true
+    (Tuple.Set.equal (Relation.to_set r) (Relation.to_set r'))
+
+let test_csv_quoting () =
+  let cell = Csv_io.cell_of_value (v_sym "a,b") in
+  Alcotest.(check bool) "comma quoted" true (cell.[0] = '"');
+  Alcotest.check value_testable "roundtrip via of_string" (v_sym "a,b")
+    (Csv_io.value_of_cell (Value.to_string (v_sym "a,b")))
+
+let test_csv_file_roundtrip () =
+  let schema = Rel_schema.of_names "m" [ "a"; "b" ] in
+  let r =
+    Relation.of_tuples schema
+      [ tup [ v_sym "x"; v_int 1 ]; tup [ v_sym "long value, quoted"; v_int 2 ] ]
+  in
+  let path = Filename.temp_file "mdqa_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.save_relation path r;
+      let r' = Csv_io.load_relation ~name:"m" path in
+      Alcotest.(check bool) "roundtrip through a file" true
+        (Tuple.Set.equal (Relation.to_set r) (Relation.to_set r')))
+
+let test_csv_malformed () =
+  Alcotest.(check bool) "ragged row rejected" true
+    (match Csv_io.relation_of_string ~name:"m" "a,b\nonly_one\n" with
+     | exception Failure _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "empty input rejected" true
+    (match Csv_io.relation_of_string ~name:"m" "" with
+     | exception Failure _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map Value.sym (string_size ~gen:(char_range 'a' 'z') (1 -- 6));
+        map Value.int (0 -- 1000);
+        map (fun n -> Value.Null n) (0 -- 50) ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let tuple_gen = QCheck.Gen.(map Tuple.of_list (list_size (1 -- 5) value_gen))
+let tuple_arb = QCheck.make ~print:(Format.asprintf "%a" Tuple.pp) tuple_gen
+
+let prop_value_compare_total =
+  QCheck.Test.make ~name:"Value.compare is antisymmetric" ~count:300
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let c = Value.compare a b and c' = Value.compare b a in
+      (c = 0) = (c' = 0) && (c > 0) = (c' < 0))
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"Value to/of_string roundtrip" ~count:300 value_arb
+    (fun v -> Value.equal v (Value.of_string (Value.to_string v)))
+
+let prop_tuple_project_id =
+  QCheck.Test.make ~name:"Tuple.project all positions = id" ~count:200
+    tuple_arb (fun t ->
+      Tuple.equal t (Tuple.project t (List.init (Tuple.arity t) Fun.id)))
+
+let prop_relation_add_idempotent =
+  QCheck.Test.make ~name:"Relation insert is idempotent" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_bound 20)
+       (QCheck.make QCheck.Gen.(pair (0 -- 5) (0 -- 5))))
+    (fun pairs ->
+      let schema = Rel_schema.of_names "p" [ "a"; "b" ] in
+      let r1 = Relation.create schema and r2 = Relation.create schema in
+      List.iter
+        (fun (a, b) ->
+          let t = tup [ v_int a; v_int b ] in
+          ignore (Relation.add r1 t);
+          ignore (Relation.add r2 t);
+          ignore (Relation.add r2 t))
+        pairs;
+      Relation.equal r1 r2)
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~name:"CSV relation roundtrip" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_bound 15)
+       (QCheck.pair value_arb value_arb))
+    (fun rows ->
+      let schema = Rel_schema.of_names "p" [ "a"; "b" ] in
+      let r =
+        Relation.of_tuples schema (List.map (fun (a, b) -> tup [ a; b ]) rows)
+      in
+      let r' =
+        Csv_io.relation_of_string ~name:"p" (Csv_io.relation_to_string r)
+      in
+      Tuple.Set.equal (Relation.to_set r) (Relation.to_set r'))
+
+let prop_union_commutes =
+  let mk rows =
+    Relation.of_tuples
+      (Rel_schema.of_names "p" [ "a" ])
+      (List.map (fun v -> tup [ v ]) rows)
+  in
+  QCheck.Test.make ~name:"Algebra.union commutes on tuple sets" ~count:150
+    (QCheck.pair (QCheck.small_list value_arb) (QCheck.small_list value_arb))
+    (fun (xs, ys) ->
+      let a = mk xs and b = mk ys in
+      Tuple.Set.equal
+        (Relation.to_set (Algebra.union a b))
+        (Relation.to_set (Algebra.union b a)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_value_compare_total; prop_value_roundtrip; prop_tuple_project_id;
+      prop_relation_add_idempotent; prop_csv_roundtrip; prop_union_commutes ]
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [ ( "relational.value",
+      [ case "ordering across kinds" test_value_order;
+        case "null predicates" test_value_null_predicates;
+        case "string roundtrip" test_value_string_roundtrip;
+        case "of_string surface forms" test_value_of_string_forms;
+        case "fresh null generator" test_fresh_gen ] );
+    ( "relational.tuple",
+      [ case "basic access and update" test_tuple_basic;
+        case "project and append" test_tuple_project_append;
+        case "has_null" test_tuple_has_null;
+        case "bounds checking" test_tuple_bounds ] );
+    ( "relational.relation",
+      [ case "add/mem/cardinal" test_relation_add_mem;
+        case "arity enforcement" test_relation_arity_check;
+        case "indexed scan" test_relation_scan;
+        case "scan after insert" test_relation_scan_after_add;
+        case "map_values merges nulls" test_relation_map_values;
+        case "remove" test_relation_remove ] );
+    ( "relational.instance",
+      [ case "declare idempotent + clash" test_instance_declare;
+        case "copy independence" test_instance_copy_independent;
+        case "merge_into" test_instance_merge ] );
+    ( "relational.algebra",
+      [ case "select/project" test_algebra_select_project;
+        case "union/diff/intersect" test_algebra_union_diff_intersect;
+        case "equi-join" test_algebra_join;
+        case "natural join" test_algebra_natural_join;
+        case "product" test_algebra_product;
+        case "operators leave inputs unchanged" test_algebra_inputs_unchanged
+      ] );
+    ( "relational.io",
+      [ case "table render" test_table_render;
+        case "table ragged rejected" test_table_render_ragged_rejected;
+        case "csv roundtrip" test_csv_roundtrip;
+        case "csv file roundtrip" test_csv_file_roundtrip;
+        case "csv malformed input" test_csv_malformed;
+        case "csv quoting" test_csv_quoting ] );
+    ("relational.properties", qcheck_cases) ]
