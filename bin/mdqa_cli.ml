@@ -7,6 +7,14 @@
      mdqa query FILE [-q Q]     answer queries (chase | proof | rewrite)
      mdqa classify FILE         Datalog± class report and position graph
      mdqa check FILE            constraints only: EGD/NC verdict
+     mdqa context FILE.mdq      the full multidimensional QA pipeline
+
+   Exit codes (all subcommands):
+     0  complete result
+     2  degraded: a resource budget (steps, nulls, rows, CQs, repair
+        branches, --timeout, --max-memory) ran out; the partial result
+        is printed and the exhaustion reported on stderr
+     1  error: parse failure, I/O failure, or an inconsistent program
 
    Example program file:
 
@@ -21,28 +29,45 @@ module Cterm = Cmdliner.Term
 open Mdqa_datalog
 module R = Mdqa_relational
 
-let load path =
-  try Ok (Parser.parse_file path) with
+let exit_complete = 0
+let exit_error = 1
+let exit_degraded = 2
+
+(* Every subcommand funnels its failures through here: parse errors and
+   I/O errors become exit code 1 with a one-line message on stderr. *)
+let run_protected f =
+  try f () with
   | Parser.Error { line; message } ->
-    Error (Printf.sprintf "%s:%d: %s" path line message)
-  | Sys_error e -> Error e
+    Format.eprintf "mdqa: parse error at line %d: %s@." line message;
+    exit_error
+  | Mdqa_context.Md_parser.Error { line; message } ->
+    Format.eprintf "mdqa: parse error at line %d: %s@." line message;
+    exit_error
+  | Sys_error e | Failure e ->
+    Format.eprintf "mdqa: %s@." e;
+    exit_error
+
+let load path =
+  try Parser.parse_file path with
+  | Parser.Error { line; message } ->
+    failwith (Printf.sprintf "%s:%d: %s" path line message)
 
 let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-    prerr_endline ("mdqa: " ^ e);
-    exit 1
+let report_degraded e =
+  Format.eprintf "mdqa: degraded — %a@." Guard.pp_exhaustion e
 
 (* --- common arguments ---------------------------------------------- *)
 
+(* A plain string, not [Arg.file]: missing files then surface as
+   [Sys_error] through {!run_protected} — exit 1, like every other
+   error — instead of cmdliner's 124. *)
 let file_arg =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Datalog± program file.")
 
 let max_steps_arg =
@@ -54,6 +79,26 @@ let max_nulls_arg =
   Arg.(
     value & opt int 100_000
     & info [ "max-nulls" ] ~docv:"N" ~doc:"Chase labeled-null budget.")
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock deadline in seconds for the whole run.  On expiry \
+           the partial result computed so far is printed and the exit \
+           code is 2.")
+
+let max_memory_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "max-memory" ] ~docv:"MB"
+        ~doc:
+          "Heap watermark in megabytes.  When the OCaml heap grows past \
+           it the run degrades to the partial result (exit code 2).")
+
+let make_guard ~max_steps ~max_nulls ~timeout ~max_memory =
+  Guard.create ~max_steps ~max_nulls ?timeout ?max_memory_mb:max_memory ()
 
 let verbose_arg =
   Arg.(
@@ -68,12 +113,14 @@ let oblivious_arg =
 
 (* --- chase ----------------------------------------------------------- *)
 
-let run_chase file max_steps max_nulls oblivious verbose =
+let run_chase file max_steps max_nulls timeout max_memory oblivious verbose =
+  run_protected @@ fun () ->
   setup_logging verbose;
-  let { Parser.program; _ } = or_die (load file) in
+  let { Parser.program; _ } = load file in
   let inst = Program.instance_of_facts program in
   let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
-  let r = Chase.run ~variant ~max_steps ~max_nulls program inst in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let r = Chase.run ~variant ~guard program inst in
   Format.printf "outcome: %a@." Chase.pp_outcome r.Chase.outcome;
   Format.printf
     "rounds: %d  firings: %d  triggers: %d  nulls: %d  egd merges: %d@.@."
@@ -87,14 +134,19 @@ let run_chase file max_steps max_nulls oblivious verbose =
         print_newline ()
       end)
     (R.Instance.relations r.Chase.instance);
-  if r.Chase.outcome = Chase.Saturated then 0 else 1
+  match r.Chase.outcome with
+  | Chase.Saturated -> exit_complete
+  | Chase.Out_of_budget e ->
+    report_degraded e;
+    exit_degraded
+  | Chase.Failed _ -> exit_error
 
 let chase_cmd =
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase and print the saturated instance.")
     Cterm.(
-      const run_chase $ file_arg $ max_steps_arg $ max_nulls_arg
-      $ oblivious_arg $ verbose_arg)
+      const run_chase $ file_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
+      $ max_memory_arg $ oblivious_arg $ verbose_arg)
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -116,9 +168,13 @@ let query_arg =
         ~doc:"Extra query, e.g. 'q(X) :- p(X, Y)'. Repeatable; queries \
               embedded in FILE also run.")
 
-let print_answers name answers =
+let print_answers ?(partial = false) name answers =
   Printf.printf "%s:" name;
-  if answers = [] then print_string " (no certain answers)";
+  if answers = [] then
+    print_string
+      (if partial then " (no answers before budget ran out)"
+       else " (no certain answers)")
+  else if partial then print_string " (partial)";
   print_newline ();
   List.iter (fun t -> Format.printf "  %a@." R.Tuple.pp t) answers
 
@@ -130,59 +186,72 @@ let goal_directed_arg =
           "With the chase engine: restrict the rules to those relevant \
            to the query before chasing.")
 
-let run_query file engine query_strings goal_directed =
-  let { Parser.program; queries } = or_die (load file) in
+let run_query file engine query_strings goal_directed max_steps max_nulls
+    timeout max_memory =
+  run_protected @@ fun () ->
+  let { Parser.program; queries } = load file in
   let extra =
     List.map
       (fun s ->
         try Parser.parse_query s
         with Parser.Error { message; _ } ->
-          or_die (Error (Printf.sprintf "query %S: %s" s message)))
+          failwith (Printf.sprintf "query %S: %s" s message))
       query_strings
   in
   let queries = queries @ extra in
-  if queries = [] then or_die (Error "no queries (use -q or add ?q(..) :- ..)");
+  if queries = [] then failwith "no queries (use -q or add ?q(..) :- ..)";
   let inst = Program.instance_of_facts program in
-  let failed = ref false in
+  (* One guard governs the whole invocation: the deadline and memory
+     watermark are global, so a query list can never outlive --timeout. *)
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let failed = ref false and degraded = ref false in
+  let note_degraded e =
+    report_degraded e;
+    degraded := true
+  in
   List.iter
     (fun q ->
       match engine with
       | `Chase -> (
-        match Query.certain_answers ~goal_directed program inst q with
+        match Query.certain_answers ~guard ~goal_directed program inst q with
         | Query.Ok answers -> print_answers q.Query.name answers
         | Query.Inconsistent f ->
           Format.printf "%s: inconsistent — %a@." q.Query.name
             Chase.pp_outcome (Chase.Failed f);
           failed := true
-        | Query.Budget _ ->
-          Printf.printf "%s: chase budget exhausted\n" q.Query.name;
-          failed := true)
+        | Query.Degraded { partial; exhaustion; _ } ->
+          print_answers ~partial:true q.Query.name partial;
+          note_degraded exhaustion)
       | `Proof ->
         let r = Proof.answer program inst q in
-        print_answers q.Query.name r.Proof.answers;
+        print_answers ~partial:(not r.Proof.complete) q.Query.name
+          r.Proof.answers;
         if not r.Proof.complete then begin
           Printf.printf "  (search truncated after %d steps)\n" r.Proof.steps;
-          failed := true
+          degraded := true
         end
       | `Rewrite -> (
-        match Rewrite.answers program inst q with
-        | Ok answers -> print_answers q.Query.name answers
-        | Error e ->
-          Printf.printf "%s: %s\n" q.Query.name e;
-          failed := true))
+        match Rewrite.answers ~guard program inst q with
+        | Guard.Complete answers -> print_answers q.Query.name answers
+        | Guard.Degraded (answers, e) ->
+          print_answers ~partial:true q.Query.name answers;
+          note_degraded e))
     queries;
-  if !failed then 1 else 0
+  if !failed then exit_error
+  else if !degraded then exit_degraded
+  else exit_complete
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Answer conjunctive queries over a program.")
     Cterm.(
-      const run_query $ file_arg $ engine_arg $ query_arg
-      $ goal_directed_arg)
+      const run_query $ file_arg $ engine_arg $ query_arg $ goal_directed_arg
+      $ max_steps_arg $ max_nulls_arg $ timeout_arg $ max_memory_arg)
 
 (* --- classify -------------------------------------------------------- *)
 
 let run_classify file =
-  let { Parser.program; _ } = or_die (load file) in
+  run_protected @@ fun () ->
+  let { Parser.program; _ } = load file in
   Format.printf "%a@.@." Classes.pp_report (Classes.classify program);
   let g = Position_graph.build program in
   let finite = Position_graph.finite_rank_positions g in
@@ -203,7 +272,7 @@ let run_classify file =
     Separability.pp_verdict (Separability.non_affected_heads program);
   Format.printf "rewritable by unfolding (acyclic predicates): %b@."
     (Rewrite.rewritable program);
-  0
+  exit_complete
 
 let classify_cmd =
   Cmd.v
@@ -213,20 +282,29 @@ let classify_cmd =
 
 (* --- check ----------------------------------------------------------- *)
 
-let run_check file max_steps max_nulls =
-  let { Parser.program; _ } = or_die (load file) in
+let run_check file max_steps max_nulls timeout max_memory =
+  run_protected @@ fun () ->
+  let { Parser.program; _ } = load file in
   let inst = Program.instance_of_facts program in
-  let r = Chase.run ~max_steps ~max_nulls program inst in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let r = Chase.run ~guard program inst in
   (match r.Chase.outcome with
    | Chase.Saturated ->
      print_endline "consistent: all EGDs and constraints satisfied"
    | o -> Format.printf "%a@." Chase.pp_outcome o);
-  if r.Chase.outcome = Chase.Saturated then 0 else 1
+  match r.Chase.outcome with
+  | Chase.Saturated -> exit_complete
+  | Chase.Out_of_budget e ->
+    report_degraded e;
+    exit_degraded
+  | Chase.Failed _ -> exit_error
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Check EGDs and negative constraints (via chase).")
-    Cterm.(const run_check $ file_arg $ max_steps_arg $ max_nulls_arg)
+    Cterm.(
+      const run_check $ file_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
+      $ max_memory_arg)
 
 (* --- context: the full MD quality pipeline over .mdq files ----------- *)
 
@@ -241,7 +319,7 @@ let repair_arg =
 
 let load_csv_arg =
   Arg.(
-    value & opt_all (pair ~sep:'=' string file) []
+    value & opt_all (pair ~sep:'=' string string) []
     & info [ "load" ] ~docv:"REL=FILE.csv"
         ~doc:
           "Replace (or create) a source relation from a CSV file before \
@@ -255,16 +333,13 @@ let explain_arg =
           "Print the derivation tree of up to $(docv) tuples of each \
            quality version (why they were deemed up to quality).")
 
-let run_context file do_repair loads explain_n =
+let run_context file do_repair loads explain_n max_steps max_nulls timeout
+    max_memory =
+  run_protected @@ fun () ->
   let module Context = Mdqa_context.Context in
   let module Repair = Mdqa_context.Repair in
   let module Md_ontology = Mdqa_multidim.Md_ontology in
-  let parsed =
-    try Mdqa_context.Md_parser.parse_file file with
-    | Mdqa_context.Md_parser.Error { line; message } ->
-      or_die (Error (Printf.sprintf "%s:%d: %s" file line message))
-    | Sys_error e -> or_die (Error e)
-  in
+  let parsed = Mdqa_context.Md_parser.parse_file file in
   let { Mdqa_context.Md_parser.ontology; context; source; queries } = parsed in
   (* CSV overrides for source relations *)
   List.iter
@@ -273,25 +348,22 @@ let run_context file do_repair loads explain_n =
         (try Ok (R.Csv_io.load_relation ~name:rel path)
          with Failure e | Sys_error e -> Error e)
       with
-      | Error e -> or_die (Error (path ^ ": " ^ e))
+      | Error e -> failwith (path ^ ": " ^ e)
       | Ok loaded -> (
         match R.Instance.find source rel with
         | Some existing ->
           if R.Relation.arity existing <> R.Relation.arity loaded then
-            or_die
-              (Error
-                 (Printf.sprintf "%s: arity %d does not match declared %d"
-                    path (R.Relation.arity loaded) (R.Relation.arity existing)));
+            failwith
+              (Printf.sprintf "%s: arity %d does not match declared %d" path
+                 (R.Relation.arity loaded) (R.Relation.arity existing));
           (* replace contents *)
           R.Relation.iter (fun t -> ignore (R.Relation.remove existing t))
             (R.Relation.copy existing);
           R.Relation.iter (fun t -> ignore (R.Relation.add existing t)) loaded
         | None ->
-          or_die
-            (Error
-               (Printf.sprintf
-                  "--load %s: no 'source %s(...)' declaration in %s" rel rel
-                  file))))
+          failwith
+            (Printf.sprintf "--load %s: no 'source %s(...)' declaration in %s"
+               rel rel file)))
     loads;
   (* Static reports. *)
   (match Md_ontology.referential_violations ontology with
@@ -305,8 +377,12 @@ let run_context file do_repair loads explain_n =
   Format.printf "EGD separability: %a@." Separability.pp_verdict
     (Md_ontology.separability ontology);
   Printf.printf "upward-only: %b\n\n" (Md_ontology.is_upward_only ontology);
-  (* Assessment. *)
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  (* Assessment: a saturated chase prints the full report; a degraded
+     one prints what was computed before the trip (sound
+     under-approximations) and exits 2; a failed one exits 1. *)
   let finish (a : Context.assessment) =
+    let partial = Context.degradation a <> None in
     let explain_quality (a : Context.assessment) =
       if explain_n > 0 then
         List.iter
@@ -330,30 +406,39 @@ let run_context file do_repair loads explain_n =
           context.Context.quality_versions
     in
     Format.printf "chase: %a@.@." Chase.pp_outcome a.Context.chase.Chase.outcome;
-    if a.Context.chase.Chase.outcome = Chase.Saturated then begin
+    match a.Context.chase.Chase.outcome with
+    | Chase.Failed _ -> exit_error
+    | Chase.Saturated | Chase.Out_of_budget _ ->
+      let title orig =
+        orig ^ if partial then " quality version (partial)"
+               else " quality version"
+      in
       List.iter
         (fun (orig, _) ->
-          match Context.quality_version a orig with
+          match Context.quality_version ~partial a orig with
           | Some q ->
-            R.Table_fmt.print ~title:(orig ^ " quality version") q;
+            R.Table_fmt.print ~title:(title orig) q;
             print_newline ()
           | None -> Printf.printf "no quality version for %s\n" orig)
         context.Context.quality_versions;
-      explain_quality a;
+      if not partial then explain_quality a;
       Format.printf "%a@.@." Mdqa_context.Assessment.pp_report
-        (Mdqa_context.Assessment.report a);
+        (Mdqa_context.Assessment.report ~partial a);
       List.iter
         (fun q ->
-          match Context.clean_answers a q with
-          | Some answers -> print_answers (q.Query.name ^ " (quality)") answers
+          match Context.clean_answers ~partial a q with
+          | Some answers ->
+            print_answers ~partial (q.Query.name ^ " (quality)") answers
           | None -> Printf.printf "%s: no answers (inconsistent)\n" q.Query.name)
         queries;
-      0
-    end
-    else 1
+      (match Context.degradation a with
+       | Some e ->
+         report_degraded e;
+         exit_degraded
+       | None -> exit_complete)
   in
   if do_repair then
-    match Repair.assess_repaired context ~source with
+    match Repair.assess_repaired ~guard context ~source with
     | Ok (a, removed) ->
       if removed <> [] then begin
         print_endline "discarded by repair:";
@@ -363,8 +448,9 @@ let run_context file do_repair loads explain_n =
         print_newline ()
       end;
       finish a
-    | Error e -> or_die (Error e)
-  else finish (Context.assess ~provenance:(explain_n > 0) context ~source)
+    | Error e -> failwith e
+  else
+    finish (Context.assess ~provenance:(explain_n > 0) ~guard context ~source)
 
 let context_cmd =
   Cmd.v
@@ -374,7 +460,8 @@ let context_cmd =
           .mdq context file: classes, constraints, chase, quality versions, \
           quality query answers.")
     Cterm.(
-      const run_context $ file_arg $ repair_arg $ load_csv_arg $ explain_arg)
+      const run_context $ file_arg $ repair_arg $ load_csv_arg $ explain_arg
+      $ max_steps_arg $ max_nulls_arg $ timeout_arg $ max_memory_arg)
 
 let main_cmd =
   Cmd.group

@@ -198,16 +198,18 @@ let () =
       [ Atom.make "region_calibrated" [ c "north"; v "D" ] ]
   in
   (match Rewrite.rewrite (Md_ontology.program up_only) q with
-   | Ok rw -> Format.printf "%a@." Rewrite.pp_rewriting rw
-   | Error e -> print_endline e);
+   | Guard.Complete rw -> Format.printf "%a@." Rewrite.pp_rewriting rw
+   | Guard.Degraded (_, e) ->
+     Format.printf "rewriting degraded: %a@." Guard.pp_exhaustion e);
   (match Md_ontology.rewrite_answers up_only q with
-   | Ok answers ->
+   | Guard.Complete answers ->
      Format.printf "days the north region had a calibration: %a@."
        (Format.pp_print_list
           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
           R.Tuple.pp)
        answers
-   | Error e -> print_endline e);
+   | Guard.Degraded (_, e) ->
+     Format.printf "answers degraded: %a@." Guard.pp_exhaustion e);
   Format.print_flush ();
 
   section "Integrity: the decommissioned station";

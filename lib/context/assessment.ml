@@ -35,12 +35,12 @@ let departure ~original ~quality =
   let r = compare_relations ~original ~quality in
   r.removed + r.added
 
-let report (a : Context.assessment) =
+let report ?(partial = false) (a : Context.assessment) =
   List.filter_map
     (fun (orig_name, _) ->
       match
         ( R.Instance.find a.Context.source orig_name,
-          Context.quality_version a orig_name )
+          Context.quality_version ~partial a orig_name )
       with
       | Some original, Some quality
         when R.Relation.arity original = R.Relation.arity quality ->

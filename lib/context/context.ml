@@ -62,17 +62,23 @@ let prepare t ~source =
     t.mappings;
   inst
 
-let assess_prepared ?provenance ?max_steps ?max_nulls t ~source ~prepared =
+let assess_prepared ?provenance ?guard ?max_steps ?max_nulls t ~source
+    ~prepared =
   let chase =
-    Chase.run ?provenance ?max_steps ?max_nulls (program t) prepared
+    Chase.run ?provenance ?guard ?max_steps ?max_nulls (program t) prepared
   in
   { context = t; chase; source }
 
-let assess ?provenance ?max_steps ?max_nulls t ~source =
-  assess_prepared ?provenance ?max_steps ?max_nulls t ~source
+let assess ?provenance ?guard ?max_steps ?max_nulls t ~source =
+  assess_prepared ?provenance ?guard ?max_steps ?max_nulls t ~source
     ~prepared:(prepare t ~source)
 
-let assess_incremental ?max_steps ?max_nulls (a : assessment) ~added =
+let degradation a =
+  match a.chase.Chase.outcome with
+  | Chase.Out_of_budget e -> Some e
+  | _ -> None
+
+let assess_incremental ?guard ?max_steps ?max_nulls (a : assessment) ~added =
   (* extend the original instance D *)
   let source = R.Instance.copy a.source in
   List.iter
@@ -96,16 +102,26 @@ let assess_incremental ?max_steps ?max_nulls (a : assessment) ~added =
       added
   in
   let chase =
-    Chase.extend ?max_steps ?max_nulls (program a.context) a.chase
+    Chase.extend ?guard ?max_steps ?max_nulls (program a.context) a.chase
       ~facts:delta
   in
   { context = a.context; chase; source }
 
-let quality_version a name =
+(* A degraded chase still holds a well-formed partial instance; with
+   [partial] its null-free quality versions are exposed (an
+   under-approximation of the saturated ones).  A [Failed] chase never
+   yields quality versions. *)
+let chase_usable ~partial (a : assessment) =
+  match a.chase.Chase.outcome with
+  | Chase.Saturated -> true
+  | Chase.Out_of_budget _ -> partial
+  | Chase.Failed _ -> false
+
+let quality_version ?(partial = false) a name =
   match List.assoc_opt name a.context.quality_versions with
   | None -> None
   | Some qpred ->
-    if a.chase.Chase.outcome <> Chase.Saturated then None
+    if not (chase_usable ~partial a) then None
     else (
       match R.Instance.find a.chase.Chase.instance qpred with
       | None -> None
@@ -142,8 +158,8 @@ let rewrite_query t (q : Query.t) =
   Query.make ~name:(q.Query.name ^ "_q") ~cmps:q.Query.cmps ~head:q.Query.head
     body
 
-let clean_answers a q =
-  if a.chase.Chase.outcome <> Chase.Saturated then None
+let clean_answers ?(partial = false) a q =
+  if not (chase_usable ~partial a) then None
   else
     Some (Query.certain a.chase.Chase.instance (rewrite_query a.context q))
 

@@ -61,6 +61,7 @@ type assessment = {
 
 val assess :
   ?provenance:bool ->
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   t ->
@@ -70,10 +71,17 @@ val assess :
     external sources; chase under M's program plus the contextual
     rules.  The chase outcome (including constraint violations) is in
     [chase].  With [provenance], {!explain} can reconstruct why a tuple
-    is in a quality version. *)
+    is in a quality version.
+
+    Resource governance: the [guard] (or the step/null budgets) bounds
+    the whole assessment chase.  On any trip the assessment is still
+    returned — {!degradation} reports the exhausted resource, and
+    {!quality_version} / {!clean_answers} with [~partial:true] read the
+    partial chase. *)
 
 val assess_prepared :
   ?provenance:bool ->
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   t ->
@@ -83,7 +91,12 @@ val assess_prepared :
 (** Like {!assess} but chases a caller-supplied combined instance
     (normally an edited {!prepare} result). *)
 
+val degradation : assessment -> Mdqa_datalog.Guard.exhaustion option
+(** The exhaustion report if the assessment chase ran out of a
+    resource; [None] when it saturated or failed on a constraint. *)
+
 val assess_incremental :
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   assessment ->
@@ -97,21 +110,27 @@ val assess_incremental :
     assessment must be saturated; otherwise a full {!assess} runs. *)
 
 val quality_version :
+  ?partial:bool ->
   assessment -> string -> Mdqa_relational.Relation.t option
 (** [quality_version a s] is the computed extension [S^q] for original
     relation [s]: the null-free tuples of its quality-version
     predicate in the chased instance, presented under [s]'s schema
     (problem (a) of §V).  [None] if [s] has no declared quality
-    version or the chase failed. *)
+    version or the chase failed.  With [partial] (off by default), a
+    budget-degraded chase yields the quality version computed so far —
+    a sound under-approximation; a constraint-failed chase still
+    yields [None]. *)
 
 val rewrite_query : t -> Mdqa_datalog.Query.t -> Mdqa_datalog.Query.t
 (** Substitute quality-version predicates for original ones ([Q^q]). *)
 
 val clean_answers :
+  ?partial:bool ->
   assessment -> Mdqa_datalog.Query.t -> Mdqa_relational.Tuple.t list option
 (** Quality answers to a query over the original schema: rewrite with
     {!rewrite_query}, evaluate certain answers on the chased instance
-    (problem (b) of §V).  [None] if the chase failed. *)
+    (problem (b) of §V).  [None] if the chase failed.  With [partial],
+    a budget-degraded chase yields the answers supported so far. *)
 
 val explain :
   assessment ->

@@ -105,47 +105,57 @@ let violations (program : Program.t) inst ~deletable =
 let hits deletion witness = List.exists (deletion_equal deletion) witness.deletions
 
 (* All minimal hitting sets via branching on the first uncovered
-   witness; non-minimal candidates are filtered at the end. *)
-let repairs ?(max_repairs = 64) witnesses =
+   witness; non-minimal candidates are filtered at the end.  The guard
+   bounds the branch count (and deadline / memory / cancellation); on a
+   trip the hitting sets found so far still yield well-formed, minimal
+   repairs. *)
+let repairs ?guard ?(max_repairs = 64) witnesses =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None -> Guard.create ~max_repair_branches:(max_repairs * 64) ()
+  in
   let results = ref [] in
-  let budget = ref (max_repairs * 64) in
   let rec go chosen remaining =
-    if !budget <= 0 then ()
-    else begin
-      decr budget;
-      match remaining with
-      | [] -> results := List.rev chosen :: !results
-      | w :: _ ->
-        List.iter
-          (fun d ->
-            if not (List.exists (deletion_equal d) chosen) then
-              let remaining' =
-                List.filter (fun w' -> not (hits d w')) remaining
-              in
-              go (d :: chosen) remaining')
-          w.deletions
-    end
+    Guard.count_repair_branch guard;
+    match remaining with
+    | [] -> results := List.rev chosen :: !results
+    | w :: _ ->
+      List.iter
+        (fun d ->
+          if not (List.exists (deletion_equal d) chosen) then
+            let remaining' =
+              List.filter (fun w' -> not (hits d w')) remaining
+            in
+            go (d :: chosen) remaining')
+        w.deletions
   in
-  go [] witnesses;
-  let as_sorted r = List.sort_uniq deletion_compare r in
-  let candidates =
-    List.sort_uniq compare (List.map as_sorted !results)
+  let finish () =
+    let as_sorted r = List.sort_uniq deletion_compare r in
+    let candidates =
+      List.sort_uniq compare (List.map as_sorted !results)
+    in
+    let subset a b =
+      List.for_all (fun d -> List.exists (deletion_equal d) b) a
+    in
+    let minimal =
+      List.filter
+        (fun r ->
+          not
+            (List.exists
+               (fun r' -> r' <> r && subset r' r)
+               candidates))
+        candidates
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+    in
+    take max_repairs minimal
   in
-  let subset a b = List.for_all (fun d -> List.exists (deletion_equal d) b) a in
-  let minimal =
-    List.filter
-      (fun r ->
-        not
-          (List.exists
-             (fun r' -> r' <> r && subset r' r)
-             candidates))
-      candidates
-  in
-  let rec take n = function
-    | [] -> []
-    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
-  in
-  take max_repairs minimal
+  match go [] witnesses with
+  | () -> Guard.Complete (finish ())
+  | exception Guard.Exhausted e -> Guard.Degraded (finish (), e)
 
 let greedy_repair witnesses =
   let rec go acc remaining =
@@ -194,46 +204,68 @@ let context_deletable (ctx : Context.t) =
   let mapped = List.map (fun m -> m.Context.target) ctx.Context.mappings in
   fun pred -> List.mem pred data_preds || List.mem pred mapped
 
-let assess_repaired ?max_steps ?max_nulls ctx ~source =
+let assess_repaired ?guard ?max_steps ?max_nulls ctx ~source =
   let prepared = Context.prepare ctx ~source in
   let program = Context.program ctx in
   match violations program prepared ~deletable:(context_deletable ctx) with
   | Error _ as e -> e
   | Ok [] ->
-    Ok (Context.assess_prepared ?max_steps ?max_nulls ctx ~source ~prepared, [])
+    Ok
+      ( Context.assess_prepared ?guard ?max_steps ?max_nulls ctx ~source
+          ~prepared,
+        [] )
   | Ok witnesses ->
     let fix = greedy_repair witnesses in
     let repaired = apply prepared fix in
     Ok
-      ( Context.assess_prepared ?max_steps ?max_nulls ctx ~source
+      ( Context.assess_prepared ?guard ?max_steps ?max_nulls ctx ~source
           ~prepared:repaired,
         fix )
 
-let cautious_answers ?max_repairs ?max_steps ?max_nulls ctx ~source q =
+let cautious_answers ?guard ?max_repairs ?max_steps ?max_nulls ctx ~source q =
   let prepared = Context.prepare ctx ~source in
   let program = Context.program ctx in
   match violations program prepared ~deletable:(context_deletable ctx) with
-  | Error _ as e -> e
+  | Error e -> Error e
   | Ok witnesses ->
-    let deletion_sets =
-      match witnesses with [] -> [ [] ] | _ -> repairs ?max_repairs witnesses
+    let repair_sets =
+      match witnesses with
+      | [] -> Guard.Complete [ [] ]
+      | _ -> repairs ?guard ?max_repairs witnesses
+    in
+    (* the same guard governs every per-repair assessment, so the
+       budget is global to the whole cautious-answering run; a chase
+       trip surfaces through the assessment outcome, never an
+       exception *)
+    let degraded = ref (Guard.degraded repair_sets) in
+    let note_degraded a =
+      match (!degraded, Context.degradation a) with
+      | None, Some e -> degraded := Some e
+      | _ -> ()
     in
     let answer_sets =
       List.map
         (fun dels ->
           let a =
-            Context.assess_prepared ?max_steps ?max_nulls ctx ~source
+            Context.assess_prepared ?guard ?max_steps ?max_nulls ctx ~source
               ~prepared:(apply prepared dels)
           in
-          match Context.clean_answers a q with
+          note_degraded a;
+          match Context.clean_answers ~partial:true a q with
           | Some answers -> R.Tuple.Set.of_list answers
           | None -> R.Tuple.Set.empty)
-        deletion_sets
+        (Guard.value repair_sets)
     in
-    (match answer_sets with
-     | [] -> Ok []
-     | first :: rest ->
-       Ok (R.Tuple.Set.elements (List.fold_left R.Tuple.Set.inter first rest)))
+    let inter =
+      match answer_sets with
+      | [] -> []
+      | first :: rest ->
+        R.Tuple.Set.elements (List.fold_left R.Tuple.Set.inter first rest)
+    in
+    Ok
+      (match !degraded with
+       | None -> Guard.Complete inter
+       | Some e -> Guard.Degraded (inter, e))
 
 let pp_deletion ppf d =
   Format.fprintf ppf "%s%a" d.relation R.Tuple.pp d.tuple

@@ -36,12 +36,16 @@ val violations :
     (it cannot be repaired by deletions). *)
 
 val repairs :
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_repairs:int ->
   witness list ->
-  deletion list list
+  deletion list list Mdqa_datalog.Guard.outcome
 (** All minimal hitting sets of the witnesses — each is the deletion
     set of one subset repair.  At most [max_repairs] (default 64) are
-    returned; deterministic order. *)
+    returned; deterministic order.  The guard bounds the branch-and-
+    cover search (default branch budget: [max_repairs * 64]); on a trip
+    the outcome is [Degraded] with the minimal repairs found so far —
+    each still a valid repair, but the enumeration may be incomplete. *)
 
 val greedy_repair : witness list -> deletion list
 (** One repair, greedily deleting the tuple covering the most unsolved
@@ -52,6 +56,7 @@ val apply :
 (** A fresh copy of the instance with the deletions applied. *)
 
 val assess_repaired :
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   Context.t ->
@@ -60,18 +65,26 @@ val assess_repaired :
 (** Like {!Context.assess}, but if the extensional data violates the
     denial constraints, first discard a {!greedy_repair} of the
     ontology's categorical data and the mapped copies, then assess.
-    Returns the assessment together with the discarded tuples. *)
+    Returns the assessment together with the discarded tuples.  The
+    guard governs the assessment chase; a trip surfaces through
+    {!Context.degradation} on the returned assessment. *)
 
 val cautious_answers :
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_repairs:int ->
   ?max_steps:int ->
   ?max_nulls:int ->
   Context.t ->
   source:Mdqa_relational.Instance.t ->
   Mdqa_datalog.Query.t ->
-  (Mdqa_relational.Tuple.t list, string) result
+  (Mdqa_relational.Tuple.t list Mdqa_datalog.Guard.outcome, string) result
 (** Consistent quality answers: quality answers that hold under {e
     every} repair (the intersection over {!repairs}) — the
-    consistent-query-answering semantics the paper points to. *)
+    consistent-query-answering semantics the paper points to.  One
+    guard governs the repair enumeration and every per-repair chase;
+    on any trip the outcome is [Degraded] with the intersection over
+    the work completed (answers from partial chases under-approximate;
+    an incomplete repair enumeration intersects fewer repairs), and
+    the exhaustion report says which resource ran out. *)
 
 val pp_deletion : Format.formatter -> deletion -> unit

@@ -15,7 +15,7 @@ type failure =
 
 type outcome =
   | Saturated
-  | Out_of_budget
+  | Out_of_budget of Guard.exhaustion
   | Failed of failure
 
 type stats = {
@@ -60,8 +60,17 @@ let trigger_key (tgd : Tgd.t) subst =
       tgd.Tgd.body )
 
 let run_internal ?(variant = Restricted) ?(semi_naive = true)
-    ?(provenance = false) ?resume_delta ?prior_provenance
-    ?(max_steps = 1_000_000) ?(max_nulls = 100_000) program start =
+    ?(provenance = false) ?resume_delta ?prior_provenance ?guard ?max_steps
+    ?max_nulls program start =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None ->
+      Guard.create
+        ~max_steps:(Option.value ~default:1_000_000 max_steps)
+        ~max_nulls:(Option.value ~default:100_000 max_nulls)
+        ()
+  in
   let inst = Instance.copy start in
   Program.declare_predicates program inst;
   List.iter
@@ -90,17 +99,14 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
     | Some s -> Tuple.Set.elements s
     | None -> []
   in
-  let check_budgets () =
-    if !triggers_checked > max_steps || Value.Fresh.count fresh > max_nulls
-    then raise (Stop Out_of_budget)
-  in
-
   (* Instantiate the head of [tgd] under [subst], inventing fresh nulls
      for existential variables; returns the ground head atoms. *)
   let instantiate_head (tgd : Tgd.t) subst =
     let subst =
       Term.Var_set.fold
-        (fun v s -> Subst.bind_exn s v (Term.Const (Value.Fresh.next fresh)))
+        (fun v s ->
+          Guard.count_null guard;
+          Subst.bind_exn s v (Term.Const (Value.Fresh.next fresh)))
         (Tgd.existential_vars tgd) subst
     in
     List.map (Subst.apply_atom subst) tgd.Tgd.head
@@ -109,12 +115,12 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   (* Restricted-chase applicability: is there an extension of the match
      sending every head atom into the instance? *)
   let head_satisfied (tgd : Tgd.t) subst =
-    Eval.exists inst (List.map (Subst.apply_atom subst) tgd.Tgd.head)
+    Eval.exists ~guard inst (List.map (Subst.apply_atom subst) tgd.Tgd.head)
   in
 
   let fire_trigger added (tgd : Tgd.t) subst =
     incr triggers_checked;
-    check_budgets ();
+    Guard.count_step guard;
     let proceed =
       match variant with
       | Restricted -> not (head_satisfied tgd subst)
@@ -173,7 +179,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
               | Term.Const x, Term.Const y when not (Value.equal x y) ->
                 Some (egd, x, y)
               | _ -> None)
-            (Eval.answers inst egd.Egd.body))
+            (Eval.answers ~guard inst egd.Egd.body))
         program.Program.egds
     in
     match violation with
@@ -216,7 +222,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   let check_ncs () =
     List.iter
       (fun (nc : Nc.t) ->
-        match Eval.first ~cmps:nc.Nc.cmps inst nc.Nc.body with
+        match Eval.first ~guard ~cmps:nc.Nc.cmps inst nc.Nc.body with
         | Some witness ->
           Log.info (fun m ->
               m "constraint %s violated under %a" nc.Nc.name Subst.pp witness);
@@ -262,9 +268,9 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
           (fun (tgd : Tgd.t) ->
             let triggers =
               if semi_naive && not !first_round then
-                Eval.delta_answers inst ~delta:delta_mem ~delta_tuples
+                Eval.delta_answers ~guard inst ~delta:delta_mem ~delta_tuples
                   tgd.Tgd.body
-              else Eval.answers inst tgd.Tgd.body
+              else Eval.answers ~guard inst tgd.Tgd.body
             in
             (* For the restricted chase, matches differing only on
                head-irrelevant body variables are the same trigger;
@@ -307,7 +313,9 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
         end
       done;
       Saturated
-    with Stop o -> o
+    with
+    | Stop o -> o
+    | Guard.Exhausted e -> Out_of_budget e
   in
   { instance = inst;
     outcome;
@@ -319,25 +327,27 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
         nulls_created = Value.Fresh.count fresh;
         egd_merges = !egd_merges } }
 
-let run ?variant ?semi_naive ?provenance ?max_steps ?max_nulls program start =
-  run_internal ?variant ?semi_naive ?provenance ?max_steps ?max_nulls program
-    start
+let run ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls program
+    start =
+  run_internal ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls
+    program start
 
-let extend ?max_steps ?max_nulls program (prior : result) ~facts =
+let extend ?guard ?max_steps ?max_nulls program (prior : result) ~facts =
   match prior.outcome with
   | Saturated ->
     run_internal ~resume_delta:facts ?prior_provenance:prior.provenance
-      ?max_steps ?max_nulls program prior.instance
+      ?guard ?max_steps ?max_nulls program prior.instance
   | _ ->
     let inst = Instance.copy prior.instance in
     List.iter (fun (pred, t) -> ignore (Instance.add_tuple inst pred t)) facts;
-    run_internal ?max_steps ?max_nulls
+    run_internal ?guard ?max_steps ?max_nulls
       ~provenance:(prior.provenance <> None)
       program inst
 
 let pp_outcome ppf = function
   | Saturated -> Format.pp_print_string ppf "saturated"
-  | Out_of_budget -> Format.pp_print_string ppf "out of budget"
+  | Out_of_budget e ->
+    Format.fprintf ppf "out of budget: %a" Guard.pp_exhaustion e
   | Failed (Egd_clash { egd; left; right }) ->
     Format.fprintf ppf "failed: EGD %s equates distinct constants %a and %a"
       egd.Egd.name Value.pp left Value.pp right

@@ -19,9 +19,11 @@
     are considered.
 
     For weakly-sticky programs over a fixed dimensional structure the
-    chase terminates; step and null budgets are enforced regardless, so
-    a non-terminating rule set surfaces as [Out_of_budget] instead of a
-    hang. *)
+    chase terminates; resource budgets (steps, nulls, wall-clock
+    deadline, memory watermark, cancellation — see {!Guard}) are
+    enforced regardless, so a non-terminating rule set or a hostile
+    input surfaces as [Out_of_budget] with an exhaustion report and a
+    well-formed partial instance, instead of a hang. *)
 
 type variant = Restricted | Oblivious
 
@@ -36,7 +38,10 @@ type failure =
 
 type outcome =
   | Saturated  (** fixpoint reached, all constraints satisfied *)
-  | Out_of_budget  (** step or null budget exhausted *)
+  | Out_of_budget of Guard.exhaustion
+      (** a guard resource ran out; the report says which and how much
+          was consumed.  The result's instance is the well-formed
+          partial chase at the point of the trip. *)
   | Failed of failure
 
 type stats = {
@@ -69,6 +74,7 @@ val run :
   ?variant:variant ->
   ?semi_naive:bool ->
   ?provenance:bool ->
+  ?guard:Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   Program.t ->
@@ -76,10 +82,18 @@ val run :
   result
 (** [run program instance] chases a {e copy} of [instance] (merged with
     the program's bundled facts); the input is never mutated.
-    Defaults: [Restricted], semi-naive on, no provenance, 1_000_000
-    steps, 100_000 nulls. *)
+    Defaults: [Restricted], semi-naive on, no provenance.
+
+    Resource governance: when [guard] is given it is consumed for every
+    trigger (a step), invented null, and join row, and its deadline /
+    memory / cancellation checks run cooperatively — [max_steps] and
+    [max_nulls] are then ignored.  Without a guard one is created from
+    [max_steps] (default 1_000_000) and [max_nulls] (default 100_000).
+    A guard trip never raises out of [run]: it returns the partial
+    instance with [Out_of_budget]. *)
 
 val extend :
+  ?guard:Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   Program.t ->

@@ -70,14 +70,26 @@ let check_cmps s cmps =
 
 (* Backtracking join over atoms tagged with a per-atom tuple filter.
    [emit] is called on every complete match; a safe body grounds every
-   comparison by the end. *)
-let search ?(cmps = []) inst tagged_atoms ~emit =
+   comparison by the end.  With a guard, every emitted match consumes a
+   row and every candidate tuple ticks the cooperative deadline /
+   memory / cancellation check, so a join explosion trips the guard
+   instead of exhausting time or memory. *)
+let search ?guard ?(cmps = []) inst tagged_atoms ~emit =
+  let tick, count_row =
+    match guard with
+    | Some g -> ((fun () -> Guard.tick g), fun () -> Guard.count_row g)
+    | None -> (ignore, ignore)
+  in
   let rec go s atoms cmps =
     match check_cmps s cmps with
     | None -> ()
     | Some pending -> (
       match atoms with
-      | [] -> if pending = [] then emit s
+      | [] ->
+        if pending = [] then begin
+          count_row ();
+          emit s
+        end
       | _ -> (
         let tg, rest = pick_next inst s atoms in
         let atom = tg.t_atom in
@@ -96,6 +108,7 @@ let search ?(cmps = []) inst tagged_atoms ~emit =
           in
           List.iter
             (fun tuple ->
+              tick ();
               if tg.keep tuple then
                 match
                   Unify.match_against ~init:s ~pattern
@@ -111,21 +124,32 @@ let no_filter _ = true
 
 let plain a = { t_atom = a; keep = no_filter; candidates = None }
 
-let answers ?cmps inst atoms =
+let answers ?guard ?cmps inst atoms =
   let out = ref [] in
-  search ?cmps inst (List.map plain atoms) ~emit:(fun s -> out := s :: !out);
+  search ?guard ?cmps inst (List.map plain atoms)
+    ~emit:(fun s -> out := s :: !out);
   List.rev !out
+
+let answers_guarded ?guard ?cmps inst atoms =
+  let out = ref [] in
+  match
+    search ?guard ?cmps inst (List.map plain atoms)
+      ~emit:(fun s -> out := s :: !out)
+  with
+  | () -> Guard.Complete (List.rev !out)
+  | exception Guard.Exhausted e -> Guard.Degraded (List.rev !out, e)
 
 exception Found of Subst.t
 
-let first ?cmps inst atoms =
+let first ?guard ?cmps inst atoms =
   try
-    search ?cmps inst (List.map plain atoms)
+    search ?guard ?cmps inst (List.map plain atoms)
       ~emit:(fun s -> raise (Found s));
     None
   with Found s -> Some s
 
-let exists ?cmps inst atoms = Option.is_some (first ?cmps inst atoms)
+let exists ?guard ?cmps inst atoms =
+  Option.is_some (first ?guard ?cmps inst atoms)
 
 let holds_fact inst a =
   if not (Atom.is_ground a) then
@@ -138,7 +162,7 @@ let holds_fact inst a =
    delta fact, partitioned so no match is produced twice: for each atom
    index i, atom i matches delta facts only, atoms before i old facts
    only, atoms after i are unrestricted. *)
-let delta_answers ?cmps inst ~delta ?delta_tuples atoms =
+let delta_answers ?guard ?cmps inst ~delta ?delta_tuples atoms =
   let out = ref [] in
   let n = List.length atoms in
   for i = 0 to n - 1 do
@@ -161,6 +185,6 @@ let delta_answers ?cmps inst ~delta ?delta_tuples atoms =
           else plain a)
         atoms
     in
-    search ?cmps inst tagged ~emit:(fun s -> out := s :: !out)
+    search ?guard ?cmps inst tagged ~emit:(fun s -> out := s :: !out)
   done;
   List.rev !out

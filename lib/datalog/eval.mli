@@ -9,9 +9,16 @@
     matched left to right, each candidate set retrieved through
     {!Mdqa_relational.Relation.scan} with the positions already bound.
     Atoms are reordered greedily at each step to bind the most
-    selective atom first. *)
+    selective atom first.
+
+    Every entry point takes an optional {!Guard.t}: each emitted match
+    consumes one row of the guard's row budget and every candidate
+    tuple ticks the deadline / memory / cancellation check, so a join
+    explosion surfaces as {!Guard.Exhausted} (or a [Degraded] outcome
+    from {!answers_guarded}) instead of unbounded time or memory. *)
 
 val answers :
+  ?guard:Guard.t ->
   ?cmps:Atom.Cmp.t list ->
   Mdqa_relational.Instance.t ->
   Atom.t list ->
@@ -19,16 +26,33 @@ val answers :
 (** All matching substitutions (deterministic order, no duplicates
     modulo the body's variables).  Comparisons are applied as soon as
     both sides are ground.  Atoms over predicates absent from the
-    instance yield no answers. *)
+    instance yield no answers.
+    @raise Guard.Exhausted when the guard trips — used by engines that
+    thread one guard through a whole pipeline and catch the trip at
+    their own entry point.  Use {!answers_guarded} for the structured
+    form. *)
+
+val answers_guarded :
+  ?guard:Guard.t ->
+  ?cmps:Atom.Cmp.t list ->
+  Mdqa_relational.Instance.t ->
+  Atom.t list ->
+  Subst.t list Guard.outcome
+(** Like {!answers}, but a guard trip is absorbed: [Degraded] carries
+    the matches found before the budget ran out, together with the
+    exhaustion report.  Never raises {!Guard.Exhausted}. *)
 
 val exists :
+  ?guard:Guard.t ->
   ?cmps:Atom.Cmp.t list ->
   Mdqa_relational.Instance.t ->
   Atom.t list ->
   bool
-(** Is there at least one match? (short-circuiting) *)
+(** Is there at least one match? (short-circuiting)
+    @raise Guard.Exhausted when the guard trips. *)
 
 val first :
+  ?guard:Guard.t ->
   ?cmps:Atom.Cmp.t list ->
   Mdqa_relational.Instance.t ->
   Atom.t list ->
@@ -38,6 +62,7 @@ val holds_fact : Mdqa_relational.Instance.t -> Atom.t -> bool
 (** Ground-atom membership. @raise Invalid_argument on non-ground. *)
 
 val delta_answers :
+  ?guard:Guard.t ->
   ?cmps:Atom.Cmp.t list ->
   Mdqa_relational.Instance.t ->
   delta:(string -> Mdqa_relational.Tuple.t -> bool) ->
@@ -49,4 +74,5 @@ val delta_answers :
     restriction used by the chase to enumerate only new triggers.  When
     [delta_tuples] lists the delta per predicate, the delta-constrained
     atom is evaluated directly over that list instead of scanning the
-    relation, making small-delta rounds proportional to the delta. *)
+    relation, making small-delta rounds proportional to the delta.
+    @raise Guard.Exhausted when the guard trips. *)

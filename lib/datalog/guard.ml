@@ -1,0 +1,235 @@
+type resource =
+  | Steps
+  | Nulls
+  | Rows
+  | Cqs
+  | Repair_branches
+  | Deadline
+  | Memory
+  | Cancelled
+
+type exhaustion = {
+  resource : resource;
+  limit : float;
+  used : float;
+}
+
+type consumption = {
+  steps : int;
+  nulls : int;
+  rows : int;
+  cqs : int;
+  repair_branches : int;
+  elapsed : float;
+  heap_mb : float;
+}
+
+type 'a outcome =
+  | Complete of 'a
+  | Degraded of 'a * exhaustion
+
+exception Exhausted of exhaustion
+
+module Clock = struct
+  (* The system wall clock can step backwards (NTP); deadline checks
+     and benchmark timings need a non-decreasing view of it. *)
+  let last = ref 0.
+
+  let now () =
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+end
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+let default_heap_sampler () =
+  let s = Gc.quick_stat () in
+  float_of_int s.Gc.heap_words *. word_bytes /. 1_048_576.
+
+type t = {
+  max_steps : int option;
+  max_nulls : int option;
+  max_rows : int option;
+  max_cqs : int option;
+  max_repair_branches : int option;
+  deadline : float option;  (* absolute, in the guard's clock *)
+  timeout : float option;  (* the configured relative limit, for reports *)
+  max_memory_mb : float option;
+  clock : unit -> float;
+  heap_sampler : unit -> float;
+  check_every : int;
+  started : float;
+  mutable steps : int;
+  mutable nulls : int;
+  mutable rows : int;
+  mutable cqs : int;
+  mutable repair_branches : int;
+  mutable ticks : int;
+  mutable heap_mb : float;
+  mutable cancelled : bool;
+  mutable tripped : exhaustion option;
+}
+
+let create ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
+    ?timeout ?max_memory_mb ?clock ?heap_sampler ?(check_every = 64) () =
+  if check_every < 1 then invalid_arg "Guard.create: check_every < 1";
+  let clock = Option.value ~default:Clock.now clock in
+  let heap_sampler = Option.value ~default:default_heap_sampler heap_sampler in
+  let started = clock () in
+  { max_steps;
+    max_nulls;
+    max_rows;
+    max_cqs;
+    max_repair_branches;
+    deadline = Option.map (fun s -> started +. s) timeout;
+    timeout;
+    max_memory_mb;
+    clock;
+    heap_sampler;
+    check_every;
+    started;
+    steps = 0;
+    nulls = 0;
+    rows = 0;
+    cqs = 0;
+    repair_branches = 0;
+    ticks = 0;
+    heap_mb = 0.;
+    cancelled = false;
+    tripped = None }
+
+let unlimited () = create ()
+
+let cancel g = g.cancelled <- true
+let is_cancelled g = g.cancelled
+
+let trip g resource ~limit ~used =
+  let e = { resource; limit; used } in
+  g.tripped <- Some e;
+  raise (Exhausted e)
+
+(* A trip is sticky: a guard shared across pipeline stages keeps
+   re-raising the original report, so later stages stop immediately
+   instead of consuming a fresh budget. *)
+let reraise_if_tripped g =
+  match g.tripped with Some e -> raise (Exhausted e) | None -> ()
+
+let check g =
+  reraise_if_tripped g;
+  if g.cancelled then trip g Cancelled ~limit:0. ~used:0.;
+  (match g.deadline with
+   | Some d ->
+     let now = g.clock () in
+     if now > d then
+       trip g Deadline
+         ~limit:(Option.value ~default:0. g.timeout)
+         ~used:(now -. g.started)
+   | None -> ());
+  match g.max_memory_mb with
+  | Some m ->
+    let heap = g.heap_sampler () in
+    g.heap_mb <- heap;
+    if heap > m then trip g Memory ~limit:m ~used:heap
+  | None -> ()
+
+let tick g =
+  reraise_if_tripped g;
+  g.ticks <- g.ticks + 1;
+  if g.ticks >= g.check_every then begin
+    g.ticks <- 0;
+    check g
+  end
+
+let count ~resource ~limit ~get ~set g =
+  reraise_if_tripped g;
+  set g (get g + 1);
+  (match limit g with
+   | Some l when get g > l ->
+     trip g resource ~limit:(float_of_int l) ~used:(float_of_int (get g))
+   | _ -> ());
+  tick g
+
+let count_step g =
+  count g ~resource:Steps
+    ~limit:(fun g -> g.max_steps)
+    ~get:(fun g -> g.steps)
+    ~set:(fun g n -> g.steps <- n)
+
+let count_null g =
+  count g ~resource:Nulls
+    ~limit:(fun g -> g.max_nulls)
+    ~get:(fun g -> g.nulls)
+    ~set:(fun g n -> g.nulls <- n)
+
+let count_row g =
+  count g ~resource:Rows
+    ~limit:(fun g -> g.max_rows)
+    ~get:(fun g -> g.rows)
+    ~set:(fun g n -> g.rows <- n)
+
+let count_cq g =
+  count g ~resource:Cqs
+    ~limit:(fun g -> g.max_cqs)
+    ~get:(fun g -> g.cqs)
+    ~set:(fun g n -> g.cqs <- n)
+
+let count_repair_branch g =
+  count g ~resource:Repair_branches
+    ~limit:(fun g -> g.max_repair_branches)
+    ~get:(fun g -> g.repair_branches)
+    ~set:(fun g n -> g.repair_branches <- n)
+
+let consumption g =
+  { steps = g.steps;
+    nulls = g.nulls;
+    rows = g.rows;
+    cqs = g.cqs;
+    repair_branches = g.repair_branches;
+    elapsed = g.clock () -. g.started;
+    heap_mb = (if g.heap_mb > 0. then g.heap_mb else g.heap_sampler ()) }
+
+let exhaustion g = g.tripped
+
+let protect g f ~partial =
+  match f () with
+  | v -> Complete v
+  | exception Exhausted e ->
+    if g.tripped = None then g.tripped <- Some e;
+    Degraded (partial (), e)
+
+let value = function Complete v | Degraded (v, _) -> v
+let degraded = function Complete _ -> None | Degraded (_, e) -> Some e
+let map f = function
+  | Complete v -> Complete (f v)
+  | Degraded (v, e) -> Degraded (f v, e)
+
+let resource_name = function
+  | Steps -> "steps"
+  | Nulls -> "nulls"
+  | Rows -> "rows"
+  | Cqs -> "cqs"
+  | Repair_branches -> "repair branches"
+  | Deadline -> "deadline"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+
+let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
+
+let pp_exhaustion ppf e =
+  match e.resource with
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Deadline ->
+    Format.fprintf ppf "deadline exceeded (%.3fs elapsed, limit %.3fs)"
+      e.used e.limit
+  | Memory ->
+    Format.fprintf ppf "memory watermark exceeded (%.1f MiB, limit %.1f MiB)"
+      e.used e.limit
+  | r ->
+    Format.fprintf ppf "%s budget exhausted (%.0f used, limit %.0f)"
+      (resource_name r) e.used e.limit
+
+let pp_consumption ppf (c : consumption) =
+  Format.fprintf ppf
+    "steps %d, nulls %d, rows %d, cqs %d, repair branches %d, %.3fs, %.1f MiB"
+    c.steps c.nulls c.rows c.cqs c.repair_branches c.elapsed c.heap_mb

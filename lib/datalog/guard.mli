@@ -1,0 +1,143 @@
+(** Unified resource governance for the whole QA pipeline.
+
+    The paper's tractability results (weakly-sticky Datalog± keeps BCQ
+    answering PTIME) promise an engine that never hangs; this module
+    makes that promise operational.  A {!t} bundles every budget the
+    engine enforces — chase steps, invented nulls, join rows, rewriting
+    disjuncts, repair branches — together with a wall-clock deadline, a
+    heap watermark and a cooperative cancellation flag.  One guard is
+    threaded through a whole pipeline run ({!Chase.run}, {!Eval},
+    {!Rewrite}, {!Query}, repairs, context assessment), so the budgets
+    are global to the run, not per-stage.
+
+    Engines consume resources through the [count_*] functions; when a
+    budget is exceeded the guard records an {!exhaustion} report and
+    raises {!Exhausted}.  Public entry points catch the exception and
+    return the partial result computed so far alongside the report —
+    degradation, never a hang or a bare failure.
+
+    The clock and heap sampler are injectable so tests can
+    deterministically fault-inject every exhaustion path
+    ([~clock:(fun () -> ...)], [~check_every:1]). *)
+
+type resource =
+  | Steps  (** chase trigger budget *)
+  | Nulls  (** invented labeled nulls *)
+  | Rows  (** join rows emitted by {!Eval} *)
+  | Cqs  (** conjunctive queries produced by {!Rewrite} *)
+  | Repair_branches  (** hitting-set search branches in repairs *)
+  | Deadline  (** wall-clock timeout *)
+  | Memory  (** heap watermark *)
+  | Cancelled  (** cooperative cancellation was requested *)
+
+type exhaustion = {
+  resource : resource;  (** which resource ran out *)
+  limit : float;  (** the configured cap, in the resource's unit *)
+  used : float;  (** consumption at the moment the guard tripped *)
+}
+
+type consumption = {
+  steps : int;
+  nulls : int;
+  rows : int;
+  cqs : int;
+  repair_branches : int;
+  elapsed : float;  (** seconds since the guard was created *)
+  heap_mb : float;  (** heap size at the last sample, in MiB *)
+}
+
+(** Outcome of a governed computation: the result, possibly partial. *)
+type 'a outcome =
+  | Complete of 'a
+  | Degraded of 'a * exhaustion
+      (** a budget ran out; the carried value is the well-formed
+          partial result computed before the trip *)
+
+type t
+
+exception Exhausted of exhaustion
+
+(** Monotonic wall-clock time in seconds.  The system clock is wrapped
+    so the reported time never decreases, making deadline checks (and
+    benchmark timings) robust to clock steps. *)
+module Clock : sig
+  val now : unit -> float
+end
+
+val create :
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  ?max_rows:int ->
+  ?max_cqs:int ->
+  ?max_repair_branches:int ->
+  ?timeout:float ->
+  ?max_memory_mb:float ->
+  ?clock:(unit -> float) ->
+  ?heap_sampler:(unit -> float) ->
+  ?check_every:int ->
+  unit ->
+  t
+(** A fresh guard.  Omitted budgets are unlimited.  [timeout] is in
+    seconds from creation; [max_memory_mb] is a heap watermark in MiB.
+    [clock] defaults to {!Clock.now}; [heap_sampler] (returning MiB)
+    defaults to sampling [Gc.quick_stat].  Deadline, memory and
+    cancellation are checked every [check_every] ticks (default 64;
+    use [1] in tests for deterministic fault injection). *)
+
+val unlimited : unit -> t
+(** A guard with no limits — still tracks consumption and supports
+    cancellation. *)
+
+val cancel : t -> unit
+(** Request cooperative cancellation: the next check trips the guard
+    with resource {!Cancelled}. *)
+
+val is_cancelled : t -> bool
+
+val check : t -> unit
+(** Unconditionally check deadline, memory watermark and cancellation.
+    @raise Exhausted when one of them is exceeded. *)
+
+val tick : t -> unit
+(** Cheap cooperative check: runs {!check} every [check_every] calls.
+    Engines call this in inner loops (per candidate tuple, per
+    unfolding attempt). *)
+
+val count_step : t -> unit
+(** Consume one chase step. @raise Exhausted past [max_steps]. *)
+
+val count_null : t -> unit
+(** Consume one invented null. @raise Exhausted past [max_nulls]. *)
+
+val count_row : t -> unit
+(** Consume one emitted join row. @raise Exhausted past [max_rows]. *)
+
+val count_cq : t -> unit
+(** Consume one rewriting disjunct. @raise Exhausted past [max_cqs]. *)
+
+val count_repair_branch : t -> unit
+(** Consume one repair-search branch.
+    @raise Exhausted past [max_repair_branches]. *)
+
+val consumption : t -> consumption
+(** Current consumption — usable as per-run stats by the bench
+    harness and the CLI. *)
+
+val exhaustion : t -> exhaustion option
+(** The recorded report if the guard has tripped. *)
+
+val protect : t -> (unit -> 'a) -> partial:(unit -> 'a) -> 'a outcome
+(** [protect g f ~partial] runs [f ()]; if it raises {!Exhausted}, the
+    trip is absorbed and [Degraded (partial (), e)] is returned. *)
+
+val value : 'a outcome -> 'a
+(** The carried value, complete or partial. *)
+
+val degraded : 'a outcome -> exhaustion option
+
+val map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+val resource_name : resource -> string
+val pp_resource : Format.formatter -> resource -> unit
+val pp_exhaustion : Format.formatter -> exhaustion -> unit
+val pp_consumption : Format.formatter -> consumption -> unit

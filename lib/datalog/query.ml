@@ -66,27 +66,40 @@ let head_image q s =
              (Printf.sprintf "Query: unbound head variable %s" v))
        q.head)
 
-let matches inst q =
-  let images =
-    List.fold_left
-      (fun acc s -> Tuple.Set.add (head_image q s) acc)
-      Tuple.Set.empty
-      (Eval.answers ~cmps:q.cmps inst q.body)
-  in
-  Tuple.Set.elements images
+let images_of q subs =
+  List.fold_left
+    (fun acc s -> Tuple.Set.add (head_image q s) acc)
+    Tuple.Set.empty subs
 
-let certain inst q =
-  List.filter (fun t -> not (Tuple.has_null t)) (matches inst q)
+let matches ?guard inst q =
+  Tuple.Set.elements (images_of q (Eval.answers ?guard ~cmps:q.cmps inst q.body))
 
-let holds inst q = Eval.exists ~cmps:q.cmps inst q.body
+let certain ?guard inst q =
+  List.filter (fun t -> not (Tuple.has_null t)) (matches ?guard inst q)
+
+let holds ?guard inst q = Eval.exists ?guard ~cmps:q.cmps inst q.body
 
 type 'a outcome =
   | Ok of 'a
   | Inconsistent of Chase.failure
-  | Budget of Chase.stats
+  | Degraded of {
+      partial : 'a;
+      exhaustion : Guard.exhaustion;
+      stats : Chase.stats;
+    }
 
-let with_chase ?chase_variant ?(goal_directed = false) ?max_steps ?max_nulls
-    program inst q f =
+let value = function
+  | Ok v -> Some v
+  | Degraded { partial; _ } -> Some partial
+  | Inconsistent _ -> None
+
+(* Chase, then evaluate with [eval] — an evaluation that itself returns
+   a (possibly degraded) outcome.  When the chase trips the guard, the
+   query is still evaluated over the well-formed partial instance
+   (unguarded: the instance is finite and the guard has already
+   tripped), so callers always get the answers supported so far. *)
+let with_chase ?guard ?chase_variant ?(goal_directed = false) ?max_steps
+    ?max_nulls program inst q ~eval =
   let program =
     if goal_directed then
       Program.restrict_to_goals program
@@ -94,21 +107,38 @@ let with_chase ?chase_variant ?(goal_directed = false) ?max_steps ?max_nulls
     else program
   in
   let result =
-    Chase.run ?variant:chase_variant ?max_steps ?max_nulls program inst
+    Chase.run ?variant:chase_variant ?guard ?max_steps ?max_nulls program inst
   in
+  let stats = result.Chase.stats in
   match result.Chase.outcome with
-  | Chase.Saturated -> Ok (f result.Chase.instance)
+  | Chase.Saturated -> (
+    match eval ?guard result.Chase.instance with
+    | Guard.Complete v -> Ok v
+    | Guard.Degraded (v, e) ->
+      Degraded { partial = v; exhaustion = e; stats })
   | Chase.Failed failure -> Inconsistent failure
-  | Chase.Out_of_budget -> Budget result.Chase.stats
+  | Chase.Out_of_budget e ->
+    let partial = Guard.value (eval ?guard:None result.Chase.instance) in
+    Degraded { partial; exhaustion = e; stats }
 
-let certain_answers ?chase_variant ?goal_directed ?max_steps ?max_nulls
+let certain_answers ?guard ?chase_variant ?goal_directed ?max_steps ?max_nulls
     program inst q =
-  with_chase ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst
-    q (fun i -> certain i q)
+  with_chase ?guard ?chase_variant ?goal_directed ?max_steps ?max_nulls
+    program inst q ~eval:(fun ?guard i ->
+      Guard.map
+        (fun subs ->
+          List.filter
+            (fun t -> not (Tuple.has_null t))
+            (Tuple.Set.elements (images_of q subs)))
+        (Eval.answers_guarded ?guard ~cmps:q.cmps i q.body))
 
-let entails ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst q =
-  with_chase ?chase_variant ?goal_directed ?max_steps ?max_nulls program inst
-    q (fun i -> holds i q)
+let entails ?guard ?chase_variant ?goal_directed ?max_steps ?max_nulls program
+    inst q =
+  with_chase ?guard ?chase_variant ?goal_directed ?max_steps ?max_nulls
+    program inst q ~eval:(fun ?guard i ->
+      match Eval.exists ?guard ~cmps:q.cmps i q.body with
+      | b -> Guard.Complete b
+      | exception Guard.Exhausted e -> Guard.Degraded (false, e))
 
 let pp ppf q =
   Format.fprintf ppf "%s(%a) :- %a" q.name

@@ -30,15 +30,22 @@ val boolean : ?name:string -> ?cmps:Atom.Cmp.t list -> Atom.t list -> t
 val is_boolean : t -> bool
 val answer_vars : t -> Term.Var_set.t
 
-val matches : Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
+val matches :
+  ?guard:Guard.t ->
+  Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
 (** All head images over the given instance, including those containing
-    labeled nulls; sorted, deduplicated. *)
+    labeled nulls; sorted, deduplicated.
+    @raise Guard.Exhausted when the guard trips. *)
 
-val certain : Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
-(** Null-free head images over the given (chased) instance. *)
+val certain :
+  ?guard:Guard.t ->
+  Mdqa_relational.Instance.t -> t -> Mdqa_relational.Tuple.t list
+(** Null-free head images over the given (chased) instance.
+    @raise Guard.Exhausted when the guard trips. *)
 
-val holds : Mdqa_relational.Instance.t -> t -> bool
-(** Boolean entailment over the given (chased) instance. *)
+val holds : ?guard:Guard.t -> Mdqa_relational.Instance.t -> t -> bool
+(** Boolean entailment over the given (chased) instance.
+    @raise Guard.Exhausted when the guard trips. *)
 
 (** End-to-end answering: chase then evaluate. *)
 
@@ -47,9 +54,19 @@ type 'a outcome =
   | Inconsistent of Chase.failure
       (** the chase failed; every tuple is entailed in classical
           semantics, so no meaningful answer set exists *)
-  | Budget of Chase.stats  (** the chase ran out of budget *)
+  | Degraded of {
+      partial : 'a;
+          (** answers supported by the work done before the trip — a
+              sound under-approximation of the complete answer set *)
+      exhaustion : Guard.exhaustion;  (** which resource ran out *)
+      stats : Chase.stats;
+    }  (** a guard resource ran out during the chase or evaluation *)
+
+val value : 'a outcome -> 'a option
+(** The (possibly partial) answers; [None] on [Inconsistent]. *)
 
 val certain_answers :
+  ?guard:Guard.t ->
   ?chase_variant:Chase.variant ->
   ?goal_directed:bool ->
   ?max_steps:int ->
@@ -60,9 +77,13 @@ val certain_answers :
   Mdqa_relational.Tuple.t list outcome
 (** With [goal_directed] (off by default), the program is first
     restricted to the rules relevant to the query's predicates
-    ({!Program.restrict_to_goals}) — same answers, smaller chase. *)
+    ({!Program.restrict_to_goals}) — same answers, smaller chase.
+    The guard governs the chase {e and} the final evaluation; on any
+    trip the result is [Degraded] with the partial answers, never an
+    exception or a hang. *)
 
 val entails :
+  ?guard:Guard.t ->
   ?chase_variant:Chase.variant ->
   ?goal_directed:bool ->
   ?max_steps:int ->
@@ -71,6 +92,7 @@ val entails :
   Mdqa_relational.Instance.t ->
   t ->
   bool outcome
-(** Boolean conjunctive query answering via the chase. *)
+(** Boolean conjunctive query answering via the chase.  [Degraded]
+    carries [false] when the evaluation itself was cut short. *)
 
 val pp : Format.formatter -> t -> unit

@@ -74,18 +74,20 @@ let applicable ~ex_vars ~counts (goal : Atom.t) (head_atom : Atom.t) =
       | _ -> true)
     (Atom.args goal) (Atom.args head_atom)
 
-let rewrite ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
+let rewrite ?guard ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
     (q : Query.t) =
+  let guard =
+    match guard with Some g -> g | None -> Guard.create ~max_cqs ()
+  in
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   let expansions = ref 0 in
   let counter = ref 0 in
-  let exception Too_many in
   let rec add (head, body, cmps) =
     let key = canonical_key head body cmps in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      if Hashtbl.length seen > max_cqs then raise Too_many;
+      Guard.count_cq guard;
       out := (head, body, cmps) :: !out;
       expand (head, body, cmps)
     end
@@ -96,6 +98,7 @@ let rewrite ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
         List.iter
           (fun tgd ->
             incr counter;
+            Guard.tick guard;
             let tgd' =
               Tgd.rename ~suffix:(Printf.sprintf "~%d" !counter) tgd
             in
@@ -123,8 +126,7 @@ let rewrite ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
           (Program.tgds_with_head program (Atom.pred goal)))
       body
   in
-  match add (q.Query.head, q.Query.body, q.Query.cmps) with
-  | () ->
+  let finish () =
     let ucq =
       List.rev_map
         (fun (head, body, cmps) ->
@@ -133,29 +135,39 @@ let rewrite ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
       |> List.rev
     in
     let kept = if prune then Containment.prune_ucq ucq else ucq in
-    Ok
-      { ucq = kept;
-        expansions = !expansions;
-        pruned = List.length ucq - List.length kept }
-  | exception Too_many ->
-    Error
-      (Printf.sprintf
-         "rewriting exceeded %d conjunctive queries (cyclic rule set?)"
-         max_cqs)
+    { ucq = kept;
+      expansions = !expansions;
+      pruned = List.length ucq - List.length kept }
+  in
+  match add (q.Query.head, q.Query.body, q.Query.cmps) with
+  | () -> Guard.Complete (finish ())
+  | exception Guard.Exhausted e -> Guard.Degraded (finish (), e)
 
-let answers ?max_cqs ?prune program inst q =
-  match rewrite ?max_cqs ?prune program q with
-  | Error _ as e -> e
-  | Ok { ucq; _ } ->
-    let all =
+let answers ?guard ?max_cqs ?prune program inst q =
+  let eval ucq =
+    let all = ref Tuple.Set.empty in
+    let add_cq cq =
+      List.iter
+        (fun t -> all := Tuple.Set.add t !all)
+        (Query.certain ?guard inst cq)
+    in
+    match List.iter add_cq ucq with
+    | () -> Guard.Complete (Tuple.Set.elements !all)
+    | exception Guard.Exhausted e ->
+      Guard.Degraded (Tuple.Set.elements !all, e)
+  in
+  match rewrite ?guard ?max_cqs ?prune program q with
+  | Guard.Complete { ucq; _ } -> eval ucq
+  | Guard.Degraded ({ ucq; _ }, e) ->
+    (* evaluate the partial UCQ unguarded: the guard already tripped,
+       and each disjunct is a plain CQ over the extensional data *)
+    Guard.Degraded (Tuple.Set.elements (
       List.fold_left
         (fun acc cq ->
           List.fold_left
             (fun acc t -> Tuple.Set.add t acc)
             acc (Query.certain inst cq))
-        Tuple.Set.empty ucq
-    in
-    Ok (Tuple.Set.elements all)
+        Tuple.Set.empty ucq), e)
 
 let pp_rewriting ppf r =
   Format.fprintf ppf "@[<v>UCQ with %d disjuncts (%d expansions, %d pruned):"

@@ -15,8 +15,10 @@
     Termination: when the program's predicate graph is acyclic —
     syntactically guaranteed for upward-only multidimensional
     ontologies, where rules only move data to strictly higher category
-    levels — unfolding terminates.  A [max_cqs] budget guards cyclic
-    inputs and returns [Error] instead of diverging. *)
+    levels — unfolding terminates.  A {!Guard.t} (CQ budget, deadline,
+    memory, cancellation) bounds cyclic or explosive inputs: the
+    rewriting degrades to the disjuncts produced so far instead of
+    diverging. *)
 
 type rewriting = {
   ucq : Query.t list;  (** the union of conjunctive queries *)
@@ -28,20 +30,25 @@ val rewritable : Program.t -> bool
 (** Sufficient syntactic test: the predicate graph is acyclic. *)
 
 val rewrite :
-  ?max_cqs:int -> ?prune:bool -> Program.t -> Query.t ->
-  (rewriting, string) result
-(** Default [max_cqs] 10_000.  With [prune] (the default), disjuncts
-    contained in another disjunct are removed via {!Containment} before
-    evaluation. *)
+  ?guard:Guard.t -> ?max_cqs:int -> ?prune:bool -> Program.t -> Query.t ->
+  rewriting Guard.outcome
+(** Without a [guard], one is created with [max_cqs] (default 10_000)
+    as its CQ budget.  With [prune] (the default), disjuncts contained
+    in another disjunct are removed via {!Containment} before
+    evaluation.  [Degraded] carries the (pruned) disjuncts produced
+    before the budget ran out — each one a sound member of the union. *)
 
 val answers :
+  ?guard:Guard.t ->
   ?max_cqs:int ->
   ?prune:bool ->
   Program.t ->
   Mdqa_relational.Instance.t ->
   Query.t ->
-  (Mdqa_relational.Tuple.t list, string) result
+  Mdqa_relational.Tuple.t list Guard.outcome
 (** Rewrite, then evaluate each disjunct on the extensional instance;
-    null-free answers only, sorted and deduplicated. *)
+    null-free answers only, sorted and deduplicated.  [Degraded]
+    answers are a sound under-approximation (the disjuncts evaluated
+    so far). *)
 
 val pp_rewriting : Format.formatter -> rewriting -> unit

@@ -155,14 +155,16 @@ let referential_violations t =
     (R.Instance.relations t.data);
   List.rev !out
 
-let chase ?variant ?max_steps ?max_nulls t =
-  Chase.run ?variant ?max_steps ?max_nulls (program t) (instance t)
+let chase ?variant ?guard ?max_steps ?max_nulls t =
+  Chase.run ?variant ?guard ?max_steps ?max_nulls (program t) (instance t)
 
-let certain_answers t q = Query.certain_answers (program t) (instance t) q
+let certain_answers ?guard t q =
+  Query.certain_answers ?guard (program t) (instance t) q
 
 let proof_answers t q = Proof.answer (program t) (instance t) q
 
-let rewrite_answers t q = Rewrite.answers (program t) (instance t) q
+let rewrite_answers ?guard t q =
+  Rewrite.answers ?guard (program t) (instance t) q
 
 let is_upward_only t = Dim_rule.is_upward_only t.schema t.rules
 

@@ -64,12 +64,16 @@ val referential_violations : t -> referential_violation list
 
 val chase :
   ?variant:Mdqa_datalog.Chase.variant ->
+  ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
   t ->
   Mdqa_datalog.Chase.result
+(** The guard (or the step/null budgets) governs the chase as in
+    {!Mdqa_datalog.Chase.run}. *)
 
 val certain_answers :
+  ?guard:Mdqa_datalog.Guard.t ->
   t -> Mdqa_datalog.Query.t ->
   Mdqa_relational.Tuple.t list Mdqa_datalog.Query.outcome
 
@@ -77,9 +81,12 @@ val proof_answers : t -> Mdqa_datalog.Query.t -> Mdqa_datalog.Proof.result
 (** Answer via the top-down {!Mdqa_datalog.Proof} search (no chase). *)
 
 val rewrite_answers :
+  ?guard:Mdqa_datalog.Guard.t ->
   t -> Mdqa_datalog.Query.t ->
-  (Mdqa_relational.Tuple.t list, string) result
-(** Answer via FO rewriting — sound for upward-only ontologies. *)
+  Mdqa_relational.Tuple.t list Mdqa_datalog.Guard.outcome
+(** Answer via FO rewriting — sound for upward-only ontologies.
+    [Degraded] answers are the disjuncts evaluated before the guard
+    tripped. *)
 
 val is_upward_only : t -> bool
 

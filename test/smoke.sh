@@ -1,0 +1,48 @@
+#!/bin/sh
+# Degradation smoke test for the CLI: every example pipeline run under
+# a tiny budget must exit 2 (degraded, partial result printed) within
+# the time limit — never crash, never hang, never exit 0 pretending the
+# result is complete.
+#
+# Usage: smoke.sh MDQA_EXE FILE.mdq...
+set -u
+
+exe="$1"
+shift
+
+status=0
+
+run() {
+  # $1 = label, $2 = expected exit code, rest = command
+  label="$1"
+  want="$2"
+  shift 2
+  timeout 60 "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -eq 124 ]; then
+    echo "smoke FAIL: $label hung (killed after 60s)" >&2
+    status=1
+  elif [ "$got" -ne "$want" ]; then
+    echo "smoke FAIL: $label exited $got, want $want" >&2
+    status=1
+  fi
+}
+
+for f in "$@"; do
+  # Intentionally-inconsistent examples (hospital.mdq) need --repair so
+  # the budget — not the constraint violation — decides the outcome.
+  # Others (telecom.mdq, whose constraint mentions a derived predicate)
+  # must run without it.
+  if timeout 60 "$exe" context "$f" >/dev/null 2>&1; then
+    repair=""
+  else
+    repair="--repair"
+  fi
+  # sanity: an unconstrained run completes with exit 0
+  run "$f unconstrained" 0 "$exe" context "$f" $repair
+  run "$f --max-steps 1" 2 "$exe" context "$f" $repair --max-steps 1
+  run "$f --timeout 0" 2 "$exe" context "$f" $repair --timeout 0
+done
+
+[ "$status" -eq 0 ] && echo "smoke: all degraded runs exited 2"
+exit $status

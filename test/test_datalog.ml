@@ -197,8 +197,10 @@ let test_chase_budget_on_divergent () =
   in
   let inst = instance_of [ ("r", 2, [ [ "a"; "b" ] ]) ] in
   let r = Chase.run ~max_nulls:50 p inst in
-  Alcotest.(check bool) "out of budget" true
-    (r.Chase.outcome = Chase.Out_of_budget)
+  Alcotest.(check bool) "out of null budget" true
+    (match r.Chase.outcome with
+     | Chase.Out_of_budget { Guard.resource = Guard.Nulls; _ } -> true
+     | _ -> false)
 
 let test_chase_egd_merges_null () =
   (* emp(X) -> ∃D dept(X,D); EGD: dept(X,D1), dept(X,D2) -> D1=D2 with
@@ -617,8 +619,10 @@ let test_rewrite_simple_unfold () =
   Alcotest.(check bool) "rewritable" true (Rewrite.rewritable p);
   let q = Query.make ~head:[ v "P" ] [ atom "pu" [ s "std"; v "P" ] ] in
   (match Rewrite.rewrite p q with
-   | Ok r -> Alcotest.(check int) "two disjuncts" 2 (List.length r.Rewrite.ucq)
-   | Error e -> Alcotest.fail e);
+   | Guard.Complete r ->
+     Alcotest.(check int) "two disjuncts" 2 (List.length r.Rewrite.ucq)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource));
   let inst =
     instance_of
       [ ("pw", 2, [ [ "w1"; "tom" ]; [ "w3"; "lou" ] ]);
@@ -626,13 +630,14 @@ let test_rewrite_simple_unfold () =
         ("pu", 2, [ [ "std"; "amy" ] ]) ]
   in
   (match Rewrite.answers p inst q with
-   | Ok answers ->
+   | Guard.Complete answers ->
      Alcotest.(check (list tuple_testable)) "tom via rule + amy extensional"
        (List.sort R.Tuple.compare
           [ R.Tuple.of_list [ R.Value.sym "tom" ];
             R.Tuple.of_list [ R.Value.sym "amy" ] ])
        answers
-   | Error e -> Alcotest.fail e)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource))
 
 let test_rewrite_matches_chase () =
   let p =
@@ -657,9 +662,10 @@ let test_rewrite_matches_chase () =
     | _ -> Alcotest.fail "chase failed"
   in
   (match Rewrite.answers p inst q with
-   | Ok via_rw ->
+   | Guard.Complete via_rw ->
      Alcotest.(check (list tuple_testable)) "agree" via_chase via_rw
-   | Error e -> Alcotest.fail e)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource))
 
 let test_rewrite_existential_applicability () =
   (* ws(U,N) -> ∃Z shifts(U,N,Z).  Query with unshared var Z unfolds;
@@ -679,17 +685,21 @@ let test_rewrite_existential_applicability () =
     Query.make ~head:[ v "U" ] [ atom "shifts" [ v "U"; s "mark"; v "Z" ] ]
   in
   (match Rewrite.answers p inst q_free with
-   | Ok [ t ] ->
+   | Guard.Complete [ t ] ->
      Alcotest.check tuple_testable "std" (R.Tuple.of_list [ R.Value.sym "std" ]) t
-   | Ok l -> Alcotest.failf "expected one answer, got %d" (List.length l)
-   | Error e -> Alcotest.fail e);
+   | Guard.Complete l ->
+     Alcotest.failf "expected one answer, got %d" (List.length l)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource));
   let q_const =
     Query.make ~head:[ v "U" ] [ atom "shifts" [ v "U"; s "mark"; s "night" ] ]
   in
   (match Rewrite.answers p inst q_const with
-   | Ok [] -> ()
-   | Ok l -> Alcotest.failf "expected no answers, got %d" (List.length l)
-   | Error e -> Alcotest.fail e)
+   | Guard.Complete [] -> ()
+   | Guard.Complete l ->
+     Alcotest.failf "expected no answers, got %d" (List.length l)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource))
 
 let test_rewrite_cyclic_errors () =
   let p =
@@ -704,8 +714,9 @@ let test_rewrite_cyclic_errors () =
   (* unfolding p <-> q actually reaches a fixpoint of 2 CQs here; the
      canonicalizer must recognize the alpha-equivalent repeats *)
   (match Rewrite.rewrite ~max_cqs:50 p q with
-   | Ok r -> Alcotest.(check int) "two CQs" 2 (List.length r.Rewrite.ucq)
-   | Error _ -> ())
+   | Guard.Complete r ->
+     Alcotest.(check int) "two CQs" 2 (List.length r.Rewrite.ucq)
+   | Guard.Degraded _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Constructor validation *)
@@ -750,8 +761,10 @@ let test_chase_trigger_budget () =
       [ ("e", 2, List.init 50 (fun i -> [ Printf.sprintf "a%d" i; "b" ])) ]
   in
   let r = Chase.run ~max_steps:10 p big in
-  Alcotest.(check bool) "budget reported" true
-    (r.Chase.outcome = Chase.Out_of_budget)
+  Alcotest.(check bool) "step budget reported" true
+    (match r.Chase.outcome with
+     | Chase.Out_of_budget { Guard.resource = Guard.Steps; _ } -> true
+     | _ -> false)
 
 let test_chase_efficiency_guard () =
   (* regression guard: the linear copy chase checks no more triggers
@@ -815,10 +828,15 @@ let test_rewrite_max_cqs_budget () =
       ()
   in
   let query = Query.make ~head:[ v "X" ] [ atom "q" [ v "X" ] ] in
-  (* the cycle q <-> r converges here; a budget of 1 must error *)
+  (* the cycle q <-> r converges here; a budget of 1 must degrade,
+     naming the CQ resource and carrying the disjuncts produced *)
   (match Rewrite.rewrite ~max_cqs:1 p query with
-   | Error _ -> ()
-   | Ok _ -> Alcotest.fail "expected budget error")
+   | Guard.Degraded (r, e) ->
+     Alcotest.(check bool) "cq resource named" true
+       (e.Guard.resource = Guard.Cqs);
+     Alcotest.(check bool) "partial ucq is non-empty" true
+       (r.Rewrite.ucq <> [])
+   | Guard.Complete _ -> Alcotest.fail "expected budget degradation")
 
 (* ------------------------------------------------------------------ *)
 (* Eval corner cases *)
@@ -1256,7 +1274,7 @@ let prop_rewrite_agrees_with_chase =
       QCheck.assume (Rewrite.rewritable p);
       let inst = Program.instance_of_facts p in
       match Query.certain_answers p inst query_a, Rewrite.answers p inst query_a with
-      | Query.Ok via_chase, Ok via_rw -> via_chase = via_rw
+      | Query.Ok via_chase, Guard.Complete via_rw -> via_chase = via_rw
       | _ -> QCheck.assume_fail ())
 
 let prop_chase_idempotent =

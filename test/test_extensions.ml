@@ -105,14 +105,17 @@ let test_rewrite_pruning_integration () =
   in
   let q = Query.make ~head:[ v "P" ] [ atom "copy" [ v "U"; v "P" ] ] in
   (match Rewrite.rewrite ~prune:false p q with
-   | Ok r -> Alcotest.(check int) "unpruned has 3 disjuncts" 3 (List.length r.Rewrite.ucq)
-   | Error e -> Alcotest.fail e);
+   | Guard.Complete r ->
+     Alcotest.(check int) "unpruned has 3 disjuncts" 3 (List.length r.Rewrite.ucq)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource));
   (match Rewrite.rewrite ~prune:true p q with
-   | Ok r ->
+   | Guard.Complete r ->
      Alcotest.(check int) "pruned drops the guarded variant" 2
        (List.length r.Rewrite.ucq);
      Alcotest.(check int) "reports 1 pruned" 1 r.Rewrite.pruned
-   | Error e -> Alcotest.fail e)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource))
 
 (* ------------------------------------------------------------------ *)
 (* Repair *)
@@ -165,7 +168,7 @@ let test_repair_hitting_sets () =
     [ { Repair.constraint_name = "c1"; deletions = [ d "p" "shared"; d "p" "a" ] };
       { Repair.constraint_name = "c2"; deletions = [ d "p" "shared"; d "p" "b" ] } ]
   in
-  let repairs = Repair.repairs witnesses in
+  let repairs = Guard.value (Repair.repairs witnesses) in
   Alcotest.(check int) "two minimal repairs" 2 (List.length repairs);
   Alcotest.(check bool) "singleton repair present" true
     (List.exists (fun r -> List.length r = 1) repairs);
@@ -211,10 +214,12 @@ let test_repair_hospital_discard () =
 let test_repair_cautious_answers () =
   let ctx = Hospital.context ~raw_patient_ward:true () in
   match Repair.cautious_answers ctx ~source:(Hospital.source ()) Hospital.doctor_query with
-  | Ok answers ->
+  | Ok (Guard.Complete answers) ->
     Alcotest.(check (list tuple_testable)) "row 1 certain under all repairs"
       [ R.Tuple.of_list [ sym "Sep/5-12:10"; sym "Tom Waits"; R.Value.real 38.2 ] ]
       answers
+  | Ok (Guard.Degraded (_, e)) ->
+    Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource)
   | Error e -> Alcotest.fail e
 
 let test_repair_consistent_context_noop () =
@@ -605,13 +610,13 @@ let hits_all repair ws =
 let prop_repairs_hit_all =
   QCheck.Test.make ~name:"every repair hits every violation" ~count:200
     witnesses_arb (fun ws ->
-      let rs = Repair.repairs ws in
+      let rs = Guard.value (Repair.repairs ws) in
       rs <> [] && List.for_all (fun r -> hits_all r ws) rs)
 
 let prop_repairs_minimal =
   QCheck.Test.make ~name:"repairs are pairwise incomparable" ~count:200
     witnesses_arb (fun ws ->
-      let rs = Repair.repairs ws in
+      let rs = Guard.value (Repair.repairs ws) in
       let subset a b = List.for_all (fun d -> List.mem d b) a in
       List.for_all
         (fun r ->

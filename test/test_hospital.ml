@@ -189,9 +189,10 @@ let test_upward_rewriting_methodology () =
       R.Tuple.of_list [ sym "Terminal"; sym "Sep/9" ] ]
   in
   (match Mdqa_multidim.Md_ontology.rewrite_answers m q with
-   | Ok answers ->
+   | Guard.Complete answers ->
      Alcotest.(check (list tuple_testable)) "exact units" expected answers
-   | Error e -> Alcotest.fail e)
+   | Guard.Degraded (_, e) ->
+     Alcotest.failf "degraded: %s" (Guard.resource_name e.Guard.resource))
 
 (* The scaled generator: quality pipeline works at size and the
    quality subset is the standard-unit, certified-nurse fraction. *)
