@@ -6,15 +6,22 @@
      mdqa chase FILE            run the chase, print the saturated instance
      mdqa query FILE [-q Q]     answer queries (chase | proof | rewrite)
      mdqa classify FILE         Datalog± class report and position graph
-     mdqa check FILE            constraints only: EGD/NC verdict
+     mdqa check FILE [--json]   validate: every diagnostic in one pass
+     mdqa consistency FILE      constraints only: EGD/NC verdict (chase)
      mdqa context FILE.mdq      the full multidimensional QA pipeline
 
    Exit codes (all subcommands):
-     0  complete result
+     0  complete result (for check: clean, or hints only)
      2  degraded: a resource budget (steps, nulls, rows, CQs, repair
         branches, --timeout, --max-memory) ran out; the partial result
         is printed and the exhaustion reported on stderr
-     1  error: parse failure, I/O failure, or an inconsistent program
+        (for check: warnings but no errors)
+     1  error: validation errors, I/O failure, or an inconsistent
+        program
+
+   Every subcommand validates its input before running and reports all
+   errors (with file:line:col locations and stable codes) instead of
+   stopping at the first.
 
    Example program file:
 
@@ -33,11 +40,17 @@ let exit_complete = 0
 let exit_error = 1
 let exit_degraded = 2
 
-(* Every subcommand funnels its failures through here: parse errors and
-   I/O errors become exit code 1 with a one-line message on stderr. *)
+(* Raised after the offending diagnostics have already been printed. *)
+exception Fatal_diags
+
+(* Every subcommand funnels its failures through here: parse errors,
+   I/O errors and stray library exceptions become exit code 1 with a
+   one-line message on stderr — no exception ever escapes to the
+   runtime. *)
 let run_protected f =
   try f () with
-  | Parser.Error { line; message } ->
+  | Fatal_diags -> exit_error
+  | Parser.Error { line; message; _ } ->
     Format.eprintf "mdqa: parse error at line %d: %s@." line message;
     exit_error
   | Mdqa_context.Md_parser.Error { line; message } ->
@@ -46,11 +59,25 @@ let run_protected f =
   | Sys_error e | Failure e ->
     Format.eprintf "mdqa: %s@." e;
     exit_error
+  | Invalid_argument e ->
+    Format.eprintf "mdqa: invalid input: %s@." e;
+    exit_error
 
+let report_error_diags diags =
+  List.iter
+    (fun d ->
+      if d.Diag.severity = Diag.Error then Format.eprintf "%a@." Diag.pp d)
+    diags
+
+(* Validation-first loading: every error in the file is reported (with
+   its location and code) before the subcommand gives up. *)
 let load path =
-  try Parser.parse_file path with
-  | Parser.Error { line; message } ->
-    failwith (Printf.sprintf "%s:%d: %s" path line message)
+  let { Validate.parsed; diags } = Validate.check_file path in
+  match parsed with
+  | Some p -> p
+  | None ->
+    report_error_diags diags;
+    raise Fatal_diags
 
 let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -280,9 +307,41 @@ let classify_cmd =
        ~doc:"Report Datalog± class membership and position-graph facts.")
     Cterm.(const run_classify $ file_arg)
 
-(* --- check ----------------------------------------------------------- *)
+(* --- check: static validation, all diagnostics in one pass ----------- *)
 
-let run_check file max_steps max_nulls timeout max_memory =
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the report as a single JSON object instead of text.")
+
+let run_diag_check file json =
+  run_protected @@ fun () ->
+  let diags =
+    if Filename.check_suffix file ".mdq" then
+      (Mdqa_context.Md_parser.check_file file).Mdqa_context.Md_parser.diags
+    else (Validate.check_file file).Validate.diags
+  in
+  if json then print_endline (Diag.to_json ~file diags)
+  else begin
+    List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags;
+    Format.printf "%a@." Diag.pp_summary diags
+  end;
+  Diag.exit_code diags
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a Datalog± program or .mdq context without running it: \
+          report every lexical, syntax and semantic diagnostic (stable \
+          codes, file:line:col locations) in one pass.  Exit 0 when clean \
+          (hints allowed), 2 on warnings, 1 on errors.")
+    Cterm.(const run_diag_check $ file_arg $ json_arg)
+
+(* --- consistency: EGD/NC verdict via the chase ----------------------- *)
+
+let run_consistency file max_steps max_nulls timeout max_memory =
   run_protected @@ fun () ->
   let { Parser.program; _ } = load file in
   let inst = Program.instance_of_facts program in
@@ -299,12 +358,13 @@ let run_check file max_steps max_nulls timeout max_memory =
     exit_degraded
   | Chase.Failed _ -> exit_error
 
-let check_cmd =
+let consistency_cmd =
   Cmd.v
-    (Cmd.info "check" ~doc:"Check EGDs and negative constraints (via chase).")
+    (Cmd.info "consistency"
+       ~doc:"Check EGDs and negative constraints (via chase).")
     Cterm.(
-      const run_check $ file_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
-      $ max_memory_arg)
+      const run_consistency $ file_arg $ max_steps_arg $ max_nulls_arg
+      $ timeout_arg $ max_memory_arg)
 
 (* --- context: the full MD quality pipeline over .mdq files ----------- *)
 
@@ -339,16 +399,27 @@ let run_context file do_repair loads explain_n max_steps max_nulls timeout
   let module Context = Mdqa_context.Context in
   let module Repair = Mdqa_context.Repair in
   let module Md_ontology = Mdqa_multidim.Md_ontology in
-  let parsed = Mdqa_context.Md_parser.parse_file file in
+  let parsed =
+    let checked = Mdqa_context.Md_parser.check_file file in
+    match checked.Mdqa_context.Md_parser.parsed with
+    | Some p -> p
+    | None ->
+      report_error_diags checked.Mdqa_context.Md_parser.diags;
+      raise Fatal_diags
+  in
   let { Mdqa_context.Md_parser.ontology; context; source; queries } = parsed in
   (* CSV overrides for source relations *)
   List.iter
     (fun (rel, path) ->
-      match
-        (try Ok (R.Csv_io.load_relation ~name:rel path)
-         with Failure e | Sys_error e -> Error e)
-      with
-      | Error e -> failwith (path ^ ": " ^ e)
+      match R.Csv_io.load_relation_result ~name:rel path with
+      | Error errs ->
+        report_error_diags
+          (List.map
+             (fun (e : R.Csv_io.error) ->
+               Diag.make ~file:path ~line:e.R.Csv_io.row ~col:e.R.Csv_io.col
+                 Diag.Error ~code:"E022" e.R.Csv_io.message)
+             errs);
+        raise Fatal_diags
       | Ok loaded -> (
         match R.Instance.find source rel with
         | Some existing ->
@@ -469,6 +540,7 @@ let main_cmd =
        ~doc:
          "Multidimensional ontological contexts for data quality \
           assessment — Datalog± engine CLI.")
-    [ chase_cmd; query_cmd; classify_cmd; check_cmd; context_cmd ]
+    [ chase_cmd; query_cmd; classify_cmd; check_cmd; consistency_cmd;
+      context_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -60,10 +60,41 @@ type parsed = {
   queries : Mdqa_datalog.Query.t list;
 }
 
+type checked = {
+  parsed : parsed option;
+      (** [Some] iff no error-severity diagnostic was produced *)
+  diags : Mdqa_datalog.Diag.t list;  (** in source order *)
+}
+
+val check_string : ?file:string -> string -> checked
+(** Validate a whole [.mdq] input in one pass, never raising: the
+    parser recovers at statement boundaries (and inside dimension
+    bodies), so every lexical/syntax error is reported, and the
+    semantic pass then accumulates every declaration-level problem —
+    duplicate declarations ([E010]), arity clashes ([E011]), unknown
+    predicates in rule/query bodies ([E012]), facts over undeclared
+    predicates ([E013]), ill-formed dimensions ([E014]–[E017]),
+    ill-formed relations ([E018]), invalid dimensional rules ([E019]),
+    non-dimensional constraints ([E020]) and dangling [map]/[quality]
+    wiring ([E021]) — each at the source line of the declaration at
+    fault.  On error-free inputs the advisory analyses also run:
+    hierarchy quality ([W043]/[W044]), closed-world referential
+    violations ([W045]), empty quality versions ([W042]), unused
+    mapped copies ([H051]) and the weak-stickiness certificate
+    ([W041]/[H050]). *)
+
+val check_file : string -> checked
+(** @raise Sys_error on I/O failure only. *)
+
 exception Error of { line : int; message : string }
+(** [line] is the source line of the offending declaration or
+    statement (1-based). *)
 
 val parse_string : string -> parsed
-(** @raise Error on syntax errors, unknown categories/dimensions,
+(** Fail-fast wrapper over {!check_string}: returns the parsed context
+    or raises {!Error} with the {e first} error diagnostic, located at
+    its real source line.
+    @raise Error on syntax errors, unknown categories/dimensions,
     invalid dimensional rules, or facts over undeclared predicates. *)
 
 val parse_file : string -> parsed

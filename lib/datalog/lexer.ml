@@ -23,6 +23,8 @@ type token =
   | GE
   | EOF
 
+type pos = { line : int; col : int }
+
 exception Error of { line : int; col : int; message : string }
 
 let is_ident_start c =
@@ -38,15 +40,24 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokens input =
+(* The workhorse.  With [diags], lexical errors are recorded in the
+   collector and skipped (the offending character is dropped, an
+   unterminated string yields its partial contents), so one pass
+   reports every lexical problem.  Without it, the first problem
+   raises {!Error} — the historical behaviour. *)
+let tokens_pos ?diags input =
   let n = String.length input in
   let line = ref 1 in
   let line_start = ref 0 in
+  let col_of i = i - !line_start + 1 in
   let fail i message =
-    raise (Error { line = !line; col = i - !line_start + 1; message })
+    match diags with
+    | Some c ->
+      Diag.error c ~line:!line ~col:(col_of i) ~code:"E001" message
+    | None -> raise (Error { line = !line; col = col_of i; message })
   in
   let out = ref [] in
-  let emit t = out := (t, !line) :: !out in
+  let emit_at i t = out := (t, { line = !line; col = col_of i }) :: !out in
   let i = ref 0 in
   while !i < n do
     let c = input.[!i] in
@@ -61,28 +72,30 @@ let tokens input =
         incr i
       done
     end
-    else if c = '(' then (emit LPAREN; incr i)
-    else if c = ')' then (emit RPAREN; incr i)
-    else if c = ',' then (emit COMMA; incr i)
+    else if c = '(' then (emit_at !i LPAREN; incr i)
+    else if c = ')' then (emit_at !i RPAREN; incr i)
+    else if c = ',' then (emit_at !i COMMA; incr i)
     else if c = '!' then
-      if !i + 1 < n && input.[!i + 1] = '=' then (emit NEQ; i := !i + 2)
-      else (emit BANG; incr i)
-    else if c = '?' then (emit QMARK; incr i)
-    else if c = '=' then (emit EQ; incr i)
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit_at !i NEQ; i := !i + 2)
+      else (emit_at !i BANG; incr i)
+    else if c = '?' then (emit_at !i QMARK; incr i)
+    else if c = '=' then (emit_at !i EQ; incr i)
     else if c = '<' then
-      if !i + 1 < n && input.[!i + 1] = '=' then (emit LE; i := !i + 2)
-      else (emit LT; incr i)
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit_at !i LE; i := !i + 2)
+      else (emit_at !i LT; incr i)
     else if c = '>' then
-      if !i + 1 < n && input.[!i + 1] = '=' then (emit GE; i := !i + 2)
-      else (emit GT; incr i)
+      if !i + 1 < n && input.[!i + 1] = '=' then (emit_at !i GE; i := !i + 2)
+      else (emit_at !i GT; incr i)
     else if c = ':' then
-      if !i + 1 < n && input.[!i + 1] = '-' then (emit TURNSTILE; i := !i + 2)
-      else (emit COLON; incr i)
-    else if c = '{' then (emit LBRACE; incr i)
-    else if c = '}' then (emit RBRACE; incr i)
+      if !i + 1 < n && input.[!i + 1] = '-' then
+        (emit_at !i TURNSTILE; i := !i + 2)
+      else (emit_at !i COLON; incr i)
+    else if c = '{' then (emit_at !i LBRACE; incr i)
+    else if c = '}' then (emit_at !i RBRACE; incr i)
     else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then
-      (emit ARROW; i := !i + 2)
+      (emit_at !i ARROW; i := !i + 2)
     else if c = '"' then begin
+      let start = !i in
       let buf = Buffer.create 16 in
       let j = ref (!i + 1) in
       let closed = ref false in
@@ -101,8 +114,8 @@ let tokens input =
           incr j
         end
       done;
-      if not !closed then fail !i "unterminated string";
-      emit (STRING (Buffer.contents buf));
+      if not !closed then fail start "unterminated string";
+      emit_at start (STRING (Buffer.contents buf));
       i := !j
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
@@ -122,8 +135,8 @@ let tokens input =
         done
       end;
       let text = String.sub input !i (!j - !i) in
-      if is_float then emit (FLOAT (float_of_string text))
-      else emit (INT (int_of_string text));
+      if is_float then emit_at !i (FLOAT (float_of_string text))
+      else emit_at !i (INT (int_of_string text));
       i := !j
     end
     else if is_ident_start c then begin
@@ -141,15 +154,21 @@ let tokens input =
       done;
       let text = String.sub input !i (!j - !i) in
       (match text.[0] with
-       | 'A' .. 'Z' | '_' -> emit (VAR text)
-       | _ -> emit (IDENT text));
+       | 'A' .. 'Z' | '_' -> emit_at !i (VAR text)
+       | _ -> emit_at !i (IDENT text));
       i := !j
     end
-    else if c = '.' then (emit PERIOD; incr i)
-    else fail !i (Printf.sprintf "unexpected character %C" c)
+    else if c = '.' then (emit_at !i PERIOD; incr i)
+    else begin
+      fail !i (Printf.sprintf "unexpected character %C" c);
+      incr i  (* recovery path only: skip the offending character *)
+    end
   done;
-  emit EOF;
+  emit_at (max 0 (n - 1)) EOF;
   List.rev !out
+
+let tokens input =
+  List.map (fun (t, p) -> (t, p.line)) (tokens_pos input)
 
 let token_to_string = function
   | IDENT s -> s

@@ -36,7 +36,16 @@ type token =
   | GE
   | EOF
 
+type pos = { line : int; col : int }  (** both 1-based *)
+
 exception Error of { line : int; col : int; message : string }
+
+val tokens_pos : ?diags:Diag.collector -> string -> (token * pos) list
+(** Tokenize a whole input; each token is paired with the position of
+    its first character.  With [diags], lexical errors (unrecognized
+    characters, unterminated strings) are recorded as [E001]
+    diagnostics and skipped, so one pass reports them all; without it
+    the first one raises {!Error}. *)
 
 val tokens : string -> (token * int) list
 (** Tokenize a whole input; each token is paired with its line number.

@@ -5,31 +5,40 @@ type parsed = {
   queries : Query.t list;
 }
 
-exception Error of { line : int; message : string }
+exception
+  Error of { line : int; col : int; code : string; message : string }
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = {
+  mutable toks : (Lexer.token * Lexer.pos) list;
+  mutable last_pos : Lexer.pos;
+}
 
-let fail_at line message = raise (Error { line; message })
+let fail_at ?(code = "E002") (pos : Lexer.pos) message =
+  raise (Error { line = pos.Lexer.line; col = pos.Lexer.col; code; message })
 
 let peek st =
   match st.toks with
-  | (t, line) :: _ -> (t, line)
-  | [] -> (Lexer.EOF, 0)
+  | (t, pos) :: _ -> (t, pos)
+  | [] -> (Lexer.EOF, st.last_pos)
 
 let advance st =
-  match st.toks with (_ :: rest) -> st.toks <- rest | [] -> ()
+  match st.toks with
+  | (_, pos) :: rest ->
+    st.last_pos <- pos;
+    st.toks <- rest
+  | [] -> ()
 
 let expect st tok what =
-  let t, line = peek st in
+  let t, pos = peek st in
   if t = tok then advance st
   else
-    fail_at line
+    fail_at pos
       (Printf.sprintf "expected %s but found %s" what
          (Lexer.token_to_string t))
 
 (* term := VAR | IDENT | STRING | INT | FLOAT *)
 let parse_term st =
-  let t, line = peek st in
+  let t, pos = peek st in
   match t with
   | Lexer.VAR v ->
     advance st;
@@ -47,7 +56,7 @@ let parse_term st =
     advance st;
     Term.Const (Value.real f)
   | other ->
-    fail_at line
+    fail_at pos
       (Printf.sprintf "expected a term but found %s"
          (Lexer.token_to_string other))
 
@@ -64,7 +73,7 @@ let parse_term_list st =
 
 (* atom := IDENT '(' terms ')' *)
 let parse_atom st =
-  let t, line = peek st in
+  let t, pos = peek st in
   match t with
   | Lexer.IDENT pred ->
     advance st;
@@ -77,7 +86,7 @@ let parse_atom st =
     expect st Lexer.RPAREN "')'";
     Atom.make pred args
   | other ->
-    fail_at line
+    fail_at pos
       (Printf.sprintf "expected a predicate but found %s"
          (Lexer.token_to_string other))
 
@@ -101,26 +110,26 @@ let parse_literal st =
     | (Lexer.IDENT _, _) :: (Lexer.LPAREN, _) :: _ -> `Atom (parse_atom st)
     | _ ->
       let lhs = parse_term st in
-      let op_tok, line = peek st in
+      let op_tok, pos = peek st in
       (match cmp_op_of_token op_tok with
        | Some op ->
          advance st;
          let rhs = parse_term st in
          `Cmp (Atom.Cmp.make op lhs rhs)
        | None ->
-         fail_at line
+         fail_at pos
            (Printf.sprintf "expected a comparison operator, found %s"
               (Lexer.token_to_string op_tok))))
   | _ ->
     let lhs = parse_term st in
-    let op_tok, line = peek st in
+    let op_tok, pos = peek st in
     (match cmp_op_of_token op_tok with
      | Some op ->
        advance st;
        let rhs = parse_term st in
        `Cmp (Atom.Cmp.make op lhs rhs)
      | None ->
-       fail_at line
+       fail_at pos
          (Printf.sprintf "expected a comparison operator, found %s"
             (Lexer.token_to_string op_tok)))
 
@@ -145,8 +154,11 @@ type statement =
   | S_nc of Nc.t
   | S_query of Query.t
 
-let wrap_invalid line f =
-  try f () with Invalid_argument m -> fail_at line m
+(* Construction-time failures (non-ground facts, unsafe queries, empty
+   bodies) are statement-level semantic errors: code E003, located at
+   the statement's first token. *)
+let wrap_invalid pos f =
+  try f () with Invalid_argument m -> fail_at ~code:"E003" pos m
 
 (* Parsed rules are named after their head predicate (for readable
    diagnostics and provenance), suffixed for uniqueness. *)
@@ -165,15 +177,16 @@ let rule_name head =
    | atoms '.'                        (fact, single ground atom)
    | atoms ':-' body '.'              (TGD, multi-atom head) *)
 let parse_statement st =
-  let t, line = peek st in
+  let t, pos = peek st in
   match t with
   | Lexer.BANG ->
     advance st;
     expect st Lexer.TURNSTILE "':-'";
     let atoms, cmps = parse_body st in
     expect st Lexer.PERIOD "'.'";
-    if atoms = [] then fail_at line "constraint body needs at least one atom";
-    wrap_invalid line (fun () -> S_nc (Nc.make ~cmps atoms))
+    if atoms = [] then
+      fail_at ~code:"E003" pos "constraint body needs at least one atom";
+    wrap_invalid pos (fun () -> S_nc (Nc.make ~cmps atoms))
   | Lexer.QMARK ->
     advance st;
     let name, head =
@@ -182,16 +195,17 @@ let parse_statement st =
       | Lexer.IDENT _, _ ->
         let a = parse_atom st in
         (Some (Atom.pred a), Atom.args a)
-      | other, l ->
-        fail_at l
+      | other, p ->
+        fail_at p
           (Printf.sprintf "expected query head or ':-', found %s"
              (Lexer.token_to_string other))
     in
     expect st Lexer.TURNSTILE "':-'";
     let atoms, cmps = parse_body st in
     expect st Lexer.PERIOD "'.'";
-    if atoms = [] then fail_at line "query body needs at least one atom";
-    wrap_invalid line (fun () -> S_query (Query.make ?name ~cmps ~head atoms))
+    if atoms = [] then
+      fail_at ~code:"E003" pos "query body needs at least one atom";
+    wrap_invalid pos (fun () -> S_query (Query.make ?name ~cmps ~head atoms))
   | Lexer.VAR v ->
     advance st;
     expect st Lexer.EQ "'='";
@@ -199,8 +213,9 @@ let parse_statement st =
     expect st Lexer.TURNSTILE "':-'";
     let atoms, cmps = parse_body st in
     expect st Lexer.PERIOD "'.'";
-    if cmps <> [] then fail_at line "EGD bodies cannot contain comparisons";
-    wrap_invalid line (fun () -> S_egd (Egd.make ~body:atoms (Term.Var v) rhs))
+    if cmps <> [] then
+      fail_at ~code:"E003" pos "EGD bodies cannot contain comparisons";
+    wrap_invalid pos (fun () -> S_egd (Egd.make ~body:atoms (Term.Var v) rhs))
   | Lexer.IDENT _ -> (
     let first = parse_atom st in
     let rec more acc =
@@ -216,34 +231,54 @@ let parse_statement st =
       advance st;
       (match head with
        | [ a ] when Atom.is_ground a -> S_fact a
-       | [ _ ] -> fail_at line "facts must be ground"
-       | _ -> fail_at line "a fact is a single ground atom")
+       | [ _ ] -> fail_at ~code:"E003" pos "facts must be ground"
+       | _ -> fail_at ~code:"E003" pos "a fact is a single ground atom")
     | Lexer.TURNSTILE, _ ->
       advance st;
       let atoms, cmps = parse_body st in
       expect st Lexer.PERIOD "'.'";
-      if cmps <> [] then fail_at line "TGD bodies cannot contain comparisons";
-      if atoms = [] then fail_at line "TGD body needs at least one atom";
-      wrap_invalid line (fun () ->
+      if cmps <> [] then
+        fail_at ~code:"E003" pos "TGD bodies cannot contain comparisons";
+      if atoms = [] then
+        fail_at ~code:"E003" pos "TGD body needs at least one atom";
+      wrap_invalid pos (fun () ->
           S_tgd (Tgd.make ~name:(rule_name head) ~body:atoms ~head ()))
-    | other, l ->
-      fail_at l
+    | other, p ->
+      fail_at p
         (Printf.sprintf "expected '.' or ':-', found %s"
            (Lexer.token_to_string other)))
   | other ->
-    fail_at line
+    fail_at pos
       (Printf.sprintf "expected a statement but found %s"
          (Lexer.token_to_string other))
+
+(* Resynchronization point for error recovery: consume tokens up to
+   and including the next '.', but stop (without consuming) at '}' or
+   EOF so enclosing parsers — e.g. a dimension body — can close. *)
+let recover st =
+  let rec go () =
+    match peek st with
+    | Lexer.EOF, _ | Lexer.RBRACE, _ -> ()
+    | Lexer.PERIOD, _ -> advance st
+    | _ ->
+      advance st;
+      go ()
+  in
+  go ()
 
 module Raw = struct
   type nonrec state = state
 
-  let init input =
+  let init ?diags input =
     let toks =
-      try Lexer.tokens input
-      with Lexer.Error { line; message; _ } -> fail_at line message
+      match diags with
+      | Some c -> Lexer.tokens_pos ~diags:c input
+      | None -> (
+        try Lexer.tokens_pos input
+        with Lexer.Error { line; col; message } ->
+          raise (Error { line; col; code = "E001"; message }))
     in
-    { toks }
+    { toks; last_pos = { Lexer.line = 1; col = 1 } }
 
   let at_eof st = match peek st with Lexer.EOF, _ -> true | _ -> false
   let peek = peek
@@ -251,9 +286,11 @@ module Raw = struct
   let peek2 st =
     match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
 
+  let pos st = snd (peek st)
   let advance = advance
   let expect = expect
-  let error st message = fail_at (snd (peek st)) message
+  let recover = recover
+  let error st message = fail_at (pos st) message
 
   type nonrec statement = statement =
     | S_fact of Atom.t
@@ -265,18 +302,69 @@ module Raw = struct
   let statement = parse_statement
 end
 
+type located_statement = { stmt : statement; pos : Lexer.pos }
+
+(* Recovery-mode parse: every syntax error becomes a diagnostic and
+   parsing resumes at the next '.', so a single pass reports them all.
+   Lexical errors were already collected by {!Raw.init}. *)
+let parse_statements ?file diags input =
+  let st = Raw.init ~diags input in
+  let out = ref [] in
+  let rec go () =
+    if not (Raw.at_eof st) then begin
+      let start = Raw.pos st in
+      (match parse_statement st with
+       | s -> out := { stmt = s; pos = start } :: !out
+       | exception Error { line; col; code; message } ->
+         Diag.error diags ?file ~line ~col ~code message;
+         (* if no token was consumed (e.g. a stray '}'), drop one so
+            recovery always makes progress *)
+         if Raw.pos st = start then Raw.advance st;
+         (* statement-level semantic errors (E003) are raised after
+            the whole statement was consumed, '.' included — resyncing
+            would swallow the next statement *)
+         if code <> "E003" then recover st);
+      go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+let program_of_statements ?file diags statements =
+  let facts = ref [] and tgds = ref [] and egds = ref [] in
+  let ncs = ref [] and queries = ref [] in
+  List.iter
+    (fun { stmt; _ } ->
+      match stmt with
+      | S_fact f -> facts := f :: !facts
+      | S_tgd t -> tgds := t :: !tgds
+      | S_egd e -> egds := e :: !egds
+      | S_nc n -> ncs := n :: !ncs
+      | S_query q -> queries := q :: !queries)
+    statements;
+  match
+    Program.make ~tgds:(List.rev !tgds) ~egds:(List.rev !egds)
+      ~ncs:(List.rev !ncs) ~facts:(List.rev !facts) ()
+  with
+  | p -> Some { program = p; queries = List.rev !queries }
+  | exception Invalid_argument m ->
+    (* normally pre-empted by per-statement arity checks; a safety net
+       so assembly failures still surface as located diagnostics *)
+    Diag.error diags ?file ~line:1 ~code:"E003" m;
+    None
+
 let parse_string input =
   let st = Raw.init input in
   let rec go facts tgds egds ncs queries =
     match peek st with
-    | Lexer.EOF, line -> (
+    | Lexer.EOF, pos -> (
       let mk () =
         Program.make ~tgds:(List.rev tgds) ~egds:(List.rev egds)
           ~ncs:(List.rev ncs) ~facts:(List.rev facts) ()
       in
       match mk () with
       | p -> { program = p; queries = List.rev queries }
-      | exception Invalid_argument m -> fail_at line m)
+      | exception Invalid_argument m -> fail_at ~code:"E003" pos m)
     | _ -> (
       match parse_statement st with
       | S_fact f -> go (f :: facts) tgds egds ncs queries
@@ -310,4 +398,8 @@ let parse_query input =
   | { queries = [ q ]; program }
     when program.Program.tgds = [] && program.Program.facts = [] ->
     q
-  | _ -> raise (Error { line = 1; message = "expected exactly one query" })
+  | _ ->
+    raise
+      (Error
+         { line = 1; col = 0; code = "E002";
+           message = "expected exactly one query" })

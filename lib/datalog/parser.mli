@@ -15,14 +15,23 @@
     v}
 
     Constants are lowercase identifiers, quoted strings or numbers;
-    variables start with an uppercase letter or [_]. *)
+    variables start with an uppercase letter or [_].
+
+    Two entry styles are provided: the historical fail-fast one
+    ({!parse_string}, raising {!Error} on the first problem) and the
+    recovering one ({!parse_statements}), which resynchronizes on ['.']
+    after an error and accumulates every problem in a
+    {!Diag.collector} — the substrate of [mdqa check]. *)
 
 type parsed = {
   program : Program.t;
   queries : Query.t list;  (** in source order *)
 }
 
-exception Error of { line : int; message : string }
+exception
+  Error of { line : int; col : int; code : string; message : string }
+(** [code] is the stable diagnostic code ({!Diag.codes}): [E001]
+    lexical, [E002] syntax, [E003] statement-level semantic error. *)
 
 val parse_string : string -> parsed
 (** @raise Error on syntax errors, non-ground facts, unsafe rules. *)
@@ -41,21 +50,31 @@ val parse_query : string -> Query.t
 module Raw : sig
   type state
 
-  val init : string -> state
-  (** Tokenize an input. @raise Error on lexical errors. *)
+  val init : ?diags:Diag.collector -> string -> state
+  (** Tokenize an input.  With [diags], lexical errors are collected
+      and skipped (see {!Lexer.tokens_pos}); without it they raise
+      {!Error}. *)
 
   val at_eof : state -> bool
 
-  val peek : state -> Lexer.token * int
-  (** Current token and its line, without consuming. *)
+  val peek : state -> Lexer.token * Lexer.pos
+  (** Current token and its position, without consuming. *)
 
   val peek2 : state -> Lexer.token
   (** One token of extra lookahead. *)
 
+  val pos : state -> Lexer.pos
+  (** Position of the current token. *)
+
   val advance : state -> unit
   val expect : state -> Lexer.token -> string -> unit
+
+  val recover : state -> unit
+  (** Skip to the next statement boundary: consume up to and including
+      the next ['.'], stopping (without consuming) at ['}'] or EOF. *)
+
   val error : state -> string -> 'a
-  (** @raise Error at the current line. *)
+  (** @raise Error at the current position. *)
 
   type statement =
     | S_fact of Atom.t
@@ -68,3 +87,26 @@ module Raw : sig
   (** Parse one datalog statement (as documented above).
       @raise Error on syntax errors. *)
 end
+
+(** {1 Recovering entry points} *)
+
+type located_statement = {
+  stmt : Raw.statement;
+  pos : Lexer.pos;  (** position of the statement's first token *)
+}
+
+val parse_statements :
+  ?file:string -> Diag.collector -> string -> located_statement list
+(** Parse a whole input, accumulating every lexical and syntax error in
+    the collector (resynchronizing on ['.']) instead of raising.
+    Returns the statements that did parse, each with its source
+    position.  Never raises {!Error}. *)
+
+val program_of_statements :
+  ?file:string ->
+  Diag.collector ->
+  located_statement list ->
+  parsed option
+(** Assemble parsed statements into a program.  [None] (with a
+    diagnostic) if assembly fails — e.g. inconsistent arities not
+    caught earlier. *)

@@ -124,3 +124,42 @@ let weak_stickiness_violations program =
     program.Program.tgds
 
 let is_weakly_sticky program = weak_stickiness_violations program = []
+
+(* --- the weak-stickiness certificate ------------------------------- *)
+
+type qa_path =
+  | Fo_rewriting
+  | Deterministic_ws
+  | Chase_only
+
+type certificate = {
+  sticky : bool;
+  weakly_sticky : bool;
+  rewritable : bool;
+  violations : (Tgd.t * string) list;
+  path : qa_path;
+}
+
+let certify program =
+  let violations = weak_stickiness_violations program in
+  let weakly_sticky = violations = [] in
+  let sticky = weakly_sticky && is_sticky program in
+  let rewritable = Program.predicate_graph_acyclic program in
+  let path =
+    if rewritable then Fo_rewriting
+    else if weakly_sticky then Deterministic_ws
+    else Chase_only
+  in
+  { sticky; weakly_sticky; rewritable; violations; path }
+
+let pp_qa_path ppf = function
+  | Fo_rewriting ->
+    Format.pp_print_string ppf
+      "FO rewriting (acyclic predicate graph: unfolding terminates)"
+  | Deterministic_ws ->
+    Format.pp_print_string ppf
+      "DeterministicWSQAns (weakly sticky: PTIME certain answers)"
+  | Chase_only ->
+    Format.pp_print_string ppf
+      "budgeted chase only (outside weakly-sticky Datalog±: no \
+       tractability guarantee)"

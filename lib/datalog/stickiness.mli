@@ -41,3 +41,32 @@ val weak_stickiness_violations : Program.t -> (Tgd.t * string) list
 (** Pairs (rule, variable) witnessing non-weak-stickiness: marked
     variables with ≥ 2 body occurrences, none at a finite-rank
     position. *)
+
+(** {1 The weak-stickiness certificate}
+
+    The paper's quality-assessment algorithms are justified by class
+    membership: FO rewriting needs a rule set whose unfolding
+    terminates; the deterministic top-down search (DeterministicWSQAns)
+    needs weak stickiness for its PTIME guarantee; anything else must
+    fall back to the budget-governed chase.  {!certify} bundles the
+    tests into one report consumed by the semantic validator
+    ([mdqa check]). *)
+
+type qa_path =
+  | Fo_rewriting  (** {!Program.predicate_graph_acyclic} holds *)
+  | Deterministic_ws  (** weakly sticky but not unfolding-rewritable *)
+  | Chase_only  (** outside WS: only the governed chase applies *)
+
+type certificate = {
+  sticky : bool;
+  weakly_sticky : bool;
+  rewritable : bool;  (** acyclic predicate graph *)
+  violations : (Tgd.t * string) list;
+      (** weak-stickiness witnesses, as in
+          {!weak_stickiness_violations} *)
+  path : qa_path;  (** the strongest justified answering path *)
+}
+
+val certify : Program.t -> certificate
+
+val pp_qa_path : Format.formatter -> qa_path -> unit

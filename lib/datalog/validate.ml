@@ -1,0 +1,127 @@
+module Smap = Map.Make (String)
+
+type checked = {
+  parsed : Parser.parsed option;
+  diags : Diag.t list;
+}
+
+let statement_atoms = function
+  | Parser.Raw.S_fact f -> [ f ]
+  | Parser.Raw.S_tgd t -> t.Tgd.body @ t.Tgd.head
+  | Parser.Raw.S_egd e -> e.Egd.body
+  | Parser.Raw.S_nc n -> n.Nc.body
+  | Parser.Raw.S_query q -> q.Query.body
+
+(* Arity consistency across every atom of the input, reported per
+   clashing statement — unlike [Program.make], which aborts on the
+   first inconsistency with no location. *)
+let check_arities ?file diags statements =
+  ignore
+    (List.fold_left
+       (fun seen { Parser.stmt; pos } ->
+         List.fold_left
+           (fun seen a ->
+             let p = Atom.pred a and k = Atom.arity a in
+             match Smap.find_opt p seen with
+             | None -> Smap.add p (k, pos) seen
+             | Some (k', first) ->
+               if k <> k' then
+                 Diag.errorf diags ?file ~line:pos.Lexer.line
+                   ~col:pos.Lexer.col ~code:"E011"
+                   "predicate %s used with arity %d here but arity %d at \
+                    line %d"
+                   p k k' first.Lexer.line;
+               seen)
+           seen (statement_atoms stmt))
+       Smap.empty statements)
+
+(* A body/query predicate with no facts and no defining rule has a
+   forever-empty extension: legal, but almost always a typo. *)
+let check_undefined ?file diags statements =
+  let defined =
+    List.fold_left
+      (fun s { Parser.stmt; _ } ->
+        match stmt with
+        | Parser.Raw.S_fact f -> Smap.add (Atom.pred f) () s
+        | Parser.Raw.S_tgd t ->
+          List.fold_left
+            (fun s a -> Smap.add (Atom.pred a) () s)
+            s t.Tgd.head
+        | _ -> s)
+      Smap.empty statements
+  in
+  List.iter
+    (fun { Parser.stmt; pos } ->
+      let used =
+        match stmt with
+        | Parser.Raw.S_fact _ -> []
+        | Parser.Raw.S_tgd t -> t.Tgd.body
+        | Parser.Raw.S_egd e -> e.Egd.body
+        | Parser.Raw.S_nc n -> n.Nc.body
+        | Parser.Raw.S_query q -> q.Query.body
+      in
+      List.iter
+        (fun a ->
+          let p = Atom.pred a in
+          if not (Smap.mem p defined) then
+            Diag.warningf diags ?file ~line:pos.Lexer.line
+              ~col:pos.Lexer.col ~code:"W040"
+              "predicate %s has no facts and no defining rule (its \
+               extension is always empty)"
+              p)
+        used)
+    statements
+
+let check_certificate ?file diags statements (program : Program.t) =
+  if program.Program.tgds <> [] then begin
+    let cert = Stickiness.certify program in
+    let pos_of_rule name =
+      List.find_map
+        (fun { Parser.stmt; pos } ->
+          match stmt with
+          | Parser.Raw.S_tgd t when String.equal t.Tgd.name name -> Some pos
+          | _ -> None)
+        statements
+    in
+    if not cert.Stickiness.weakly_sticky then
+      List.iter
+        (fun ((tgd : Tgd.t), var) ->
+          let pos = pos_of_rule tgd.Tgd.name in
+          Diag.warningf diags ?file
+            ?line:(Option.map (fun p -> p.Lexer.line) pos)
+            ?col:(Option.map (fun p -> p.Lexer.col) pos)
+            ~code:"W041"
+            "rule %s breaks weak stickiness: marked variable %s repeats \
+             in the body with no finite-rank occurrence"
+            tgd.Tgd.name var)
+        cert.Stickiness.violations;
+    Diag.hintf diags ?file ~line:1 ~code:"H050" "%s"
+      (Format.asprintf "justified QA path: %a" Stickiness.pp_qa_path
+         cert.Stickiness.path)
+  end
+
+let check_statements ?file diags statements =
+  check_arities ?file diags statements;
+  check_undefined ?file diags statements
+
+let check_string ?file input =
+  let diags = Diag.collector ?file () in
+  let statements = Parser.parse_statements ?file diags input in
+  check_statements ?file diags statements;
+  let parsed =
+    if Diag.has_errors diags then None
+    else Parser.program_of_statements ?file diags statements
+  in
+  (match parsed with
+   | Some { Parser.program; _ } ->
+     check_certificate ?file diags statements program
+   | None -> ());
+  { parsed; diags = Diag.to_list diags }
+
+let check_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      check_string ~file:path (really_input_string ic n))

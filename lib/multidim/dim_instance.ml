@@ -143,6 +143,40 @@ let is_homogeneous t =
           (Dim_schema.parents t.schema cat))
     t.category_of
 
+(* Witness-producing variants of [is_strict] / [is_homogeneous], for
+   diagnostics: which member breaks the property, and how. *)
+let strictness_violations t =
+  Smap.fold
+    (fun member cat acc ->
+      if String.equal cat Dim_schema.all then acc
+      else
+        List.fold_left
+          (fun acc anc ->
+            let ups = rollup t (Value.sym member) ~to_category:anc in
+            if List.length ups > 1 then (member, anc, ups) :: acc else acc)
+          acc
+          (Dim_schema.ancestors t.schema cat))
+    t.category_of []
+  |> List.rev
+
+let homogeneity_violations t =
+  Smap.fold
+    (fun member cat acc ->
+      if String.equal cat Dim_schema.all then acc
+      else
+        List.fold_left
+          (fun acc pcat ->
+            if
+              List.exists
+                (fun p -> category_of t p = Some pcat)
+                (member_parents t (Value.sym member))
+            then acc
+            else (member, pcat) :: acc)
+          acc
+          (Dim_schema.parents t.schema cat))
+    t.category_of []
+  |> List.rev
+
 let size t = Smap.cardinal t.category_of - 1
 
 let pp ppf t =

@@ -57,6 +57,16 @@ val drilldown :
 val is_strict : t -> bool
 val is_homogeneous : t -> bool
 
+val strictness_violations :
+  t -> (string * string * Mdqa_relational.Value.t list) list
+(** Witnesses of non-strictness: [(member, ancestor category, the ≥ 2
+    distinct members it rolls up to there)].  Empty iff {!is_strict}. *)
+
+val homogeneity_violations : t -> (string * string) list
+(** Witnesses of non-homogeneity (non-total roll-up): [(member, parent
+    category in which it has no parent member)].  Empty iff
+    {!is_homogeneous}. *)
+
 val size : t -> int
 (** Total number of members, excluding [all]. *)
 

@@ -11,8 +11,12 @@ type t = {
   ncs : Nc.t list;
 }
 
-let make ~schema ~dim_instances ?data ?(rules = []) ?(egds = []) ?(ncs = [])
-    () =
+(* Every well-formedness problem of a prospective ontology, in
+   detection order — the non-raising substrate of [make], also consumed
+   by the semantic validator for multi-error reports. *)
+let problems ~schema ~dim_instances ?data ?(rules = []) () =
+  let out = ref [] in
+  let push m = out := m :: !out in
   (* Exactly one instance per dimension. *)
   let dims = Md_schema.dimensions schema in
   List.iter
@@ -25,30 +29,56 @@ let make ~schema ~dim_instances ?data ?(rules = []) ?(egds = []) ?(ncs = [])
       with
       | [ _ ] -> ()
       | [] ->
-        invalid_arg (Printf.sprintf "Md_ontology: no instance for dimension %s" n)
+        push (Printf.sprintf "Md_ontology: no instance for dimension %s" n)
       | _ ->
-        invalid_arg
+        push
           (Printf.sprintf "Md_ontology: several instances for dimension %s" n))
     dims;
-  if List.length dim_instances <> List.length dims then
-    invalid_arg "Md_ontology: instance for an undeclared dimension";
+  List.iter
+    (fun i ->
+      let n = Dim_schema.name (Dim_instance.schema i) in
+      if
+        not
+          (List.exists (fun d -> String.equal (Dim_schema.name d) n) dims)
+      then
+        push
+          (Printf.sprintf
+             "Md_ontology: instance for an undeclared dimension %s" n))
+    dim_instances;
+  (* Data relations must match declared schemas. *)
+  (match data with
+   | None -> ()
+   | Some data ->
+     List.iter
+       (fun r ->
+         match Md_schema.relation schema (R.Relation.name r) with
+         | Some declared ->
+           if R.Rel_schema.arity declared <> R.Relation.arity r then
+             push
+               (Printf.sprintf "Md_ontology: arity mismatch for relation %s"
+                  (R.Relation.name r))
+         | None ->
+           push
+             (Printf.sprintf "Md_ontology: undeclared relation %s in data"
+                (R.Relation.name r)))
+       (R.Instance.relations data));
+  List.iter
+    (fun (tgd : Tgd.t) ->
+      match Dim_rule.analyze schema tgd with
+      | Ok _ -> ()
+      | Error e ->
+        push (Printf.sprintf "Md_ontology: rule %s: %s" tgd.Tgd.name e))
+    rules;
+  List.rev !out
+
+let make ~schema ~dim_instances ?data ?(rules = []) ?(egds = []) ?(ncs = [])
+    () =
+  (match problems ~schema ~dim_instances ?data ~rules () with
+   | [] -> ()
+   | m :: _ -> invalid_arg m);
   let data =
     match data with Some d -> d | None -> R.Instance.create ()
   in
-  (* Data relations must match declared schemas. *)
-  List.iter
-    (fun r ->
-      match Md_schema.relation schema (R.Relation.name r) with
-      | Some declared ->
-        if R.Rel_schema.arity declared <> R.Relation.arity r then
-          invalid_arg
-            (Printf.sprintf "Md_ontology: arity mismatch for relation %s"
-               (R.Relation.name r))
-      | None ->
-        invalid_arg
-          (Printf.sprintf "Md_ontology: undeclared relation %s in data"
-             (R.Relation.name r)))
-    (R.Instance.relations data);
   let rule_infos =
     List.map
       (fun tgd ->

@@ -31,6 +31,19 @@ type t = private {
   ncs : Mdqa_datalog.Nc.t list;
 }
 
+val problems :
+  schema:Md_schema.t ->
+  dim_instances:Dim_instance.t list ->
+  ?data:Mdqa_relational.Instance.t ->
+  ?rules:Mdqa_datalog.Tgd.t list ->
+  unit ->
+  string list
+(** Every well-formedness problem of a prospective ontology, in
+    detection order: dimensions lacking an instance (or with several),
+    instances for undeclared dimensions, data relations undeclared or
+    with mismatched arity, rules failing {!Dim_rule.analyze}.  Empty
+    iff {!make} succeeds. *)
+
 val make :
   schema:Md_schema.t ->
   dim_instances:Dim_instance.t list ->
@@ -40,9 +53,8 @@ val make :
   ?ncs:Mdqa_datalog.Nc.t list ->
   unit ->
   t
-(** @raise Invalid_argument if a dimension lacks an instance (or has
-    two), if [data] contains a relation not declared in the schema with
-    a mismatched schema, or if some rule fails {!Dim_rule.analyze}. *)
+(** @raise Invalid_argument with the first of {!problems} when any
+    exist. *)
 
 val program : t -> Mdqa_datalog.Program.t
 (** ΣM as a Datalog± program (rules, EGDs, NCs — no facts). *)

@@ -18,14 +18,30 @@
 
 type t
 
+type conflict = {
+  subject : string;
+      (** the name of the dimension or relation declaration at fault,
+          so callers can attach a source location *)
+  message : string;
+}
+
+val conflicts :
+  dimensions:Dim_schema.t list ->
+  relations:Mdqa_relational.Rel_schema.t list ->
+  conflict list
+(** Every schema-level conflict, in declaration order: duplicate
+    dimension names, category names shared by two dimensions, ambiguous
+    generated predicates, duplicate relation names, categorical
+    attributes referencing unknown dimensions/categories, relation
+    names colliding with generated K/O predicates.  Empty iff {!make}
+    succeeds. *)
+
 val make :
   dimensions:Dim_schema.t list ->
   relations:Mdqa_relational.Rel_schema.t list ->
   t
-(** @raise Invalid_argument on duplicate dimension names, category
-    names shared by two dimensions, duplicate relation names, a
-    categorical attribute referencing an unknown dimension or category,
-    or a relation name colliding with a generated K/O predicate. *)
+(** @raise Invalid_argument with the first of {!conflicts} when any
+    exist. *)
 
 val dimensions : t -> Dim_schema.t list
 val dimension : t -> string -> Dim_schema.t option

@@ -73,33 +73,65 @@ let relation_to_string r =
     r;
   Buffer.contents buf
 
-let relation_of_string ~name text =
+type error = {
+  row : int;  (* 1-based file line; the header is line 1 *)
+  col : int;  (* 1-based cell index; 0 when the whole row is at fault *)
+  message : string;
+}
+
+let relation_of_string_result ~name text =
   let lines =
     String.split_on_char '\n' text
-    |> List.map (fun l ->
-           (* tolerate CRLF *)
-           if l <> "" && l.[String.length l - 1] = '\r' then
-             String.sub l 0 (String.length l - 1)
-           else l)
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l ->
+           (* tolerate CRLF; keep the absolute line number *)
+           let l =
+             if l <> "" && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l
+           in
+           (i + 1, l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
   match lines with
-  | [] -> failwith "Csv_io.relation_of_string: empty input"
-  | header :: rows ->
+  | [] ->
+    Error [ { row = 1; col = 0; message = "empty input: a header line with attribute names is required" } ]
+  | (hrow, header) :: rows -> (
     let attrs = List.map Attribute.plain (split_line header) in
-    let schema = Rel_schema.make name attrs in
-    let r = Relation.create schema in
-    List.iteri
-      (fun k line ->
-        let cells = split_line line in
-        if List.length cells <> Rel_schema.arity schema then
-          failwith
-            (Printf.sprintf
-               "Csv_io.relation_of_string: row %d has %d cells, want %d"
-               (k + 1) (List.length cells) (Rel_schema.arity schema));
-        ignore (Relation.add r (Tuple.of_list (List.map value_of_cell cells))))
-      rows;
-    r
+    match Rel_schema.make name attrs with
+    | exception Invalid_argument m -> Error [ { row = hrow; col = 0; message = m } ]
+    | schema ->
+      let arity = Rel_schema.arity schema in
+      let r = Relation.create schema in
+      let errs = ref [] in
+      List.iter
+        (fun (row, line) ->
+          let cells = split_line line in
+          let k = List.length cells in
+          if k <> arity then
+            errs :=
+              { row;
+                col = min k arity + 1;
+                message =
+                  Printf.sprintf
+                    "row has %d cells but the header (line %d) declares %d"
+                    k hrow arity }
+              :: !errs
+          else
+            ignore
+              (Relation.add r (Tuple.of_list (List.map value_of_cell cells))))
+        rows;
+      (match List.rev !errs with [] -> Ok r | errs -> Error errs))
+
+let pp_error ppf e =
+  Format.fprintf ppf "row %d, column %d: %s" e.row e.col e.message
+
+let relation_of_string ~name text =
+  match relation_of_string_result ~name text with
+  | Ok r -> r
+  | Error (e :: _) ->
+    failwith
+      (Printf.sprintf "Csv_io.relation_of_string: row %d: %s" e.row e.message)
+  | Error [] -> assert false
 
 let save_relation path r =
   let oc = open_out path in
@@ -107,11 +139,15 @@ let save_relation path r =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (relation_to_string r))
 
-let load_relation ~name path =
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      let text = really_input_string ic n in
-      relation_of_string ~name text)
+      really_input_string ic n)
+
+let load_relation_result ~name path =
+  relation_of_string_result ~name (read_file path)
+
+let load_relation ~name path = relation_of_string ~name (read_file path)

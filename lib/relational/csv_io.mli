@@ -11,13 +11,32 @@ val value_of_cell : string -> Value.t
 
 val relation_to_string : Relation.t -> string
 
-val relation_of_string : name:string -> string -> Relation.t
+type error = {
+  row : int;  (** 1-based file line number; the header is line 1 *)
+  col : int;  (** 1-based cell index; 0 when the whole row is at fault *)
+  message : string;
+}
+
+val relation_of_string_result :
+  name:string -> string -> (Relation.t, error list) result
 (** Parse a relation from CSV text; the schema is all-plain attributes
-    named by the header.
-    @raise Failure on ragged rows or empty input. *)
+    named by the header.  [Error] carries {e every} problem (empty
+    input, a bad header, each ragged row) with its file line and the
+    first offending cell — never raises. *)
+
+val relation_of_string : name:string -> string -> Relation.t
+(** Fail-fast wrapper over {!relation_of_string_result}.
+    @raise Failure with the first error on ragged rows or empty
+    input. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val save_relation : string -> Relation.t -> unit
 (** [save_relation path r] writes [r] to [path]. *)
+
+val load_relation_result :
+  name:string -> string -> (Relation.t, error list) result
+(** @raise Sys_error on I/O failure only. *)
 
 val load_relation : name:string -> string -> Relation.t
 (** [load_relation ~name path]. @raise Sys_error / Failure. *)

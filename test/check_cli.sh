@@ -1,0 +1,53 @@
+#!/bin/sh
+# Exit-code conventions of `mdqa check` (0 clean / 2 warnings / 1
+# errors), the one-pass multi-error report, the --json output, and the
+# validation-first behavior of the other subcommands.
+#
+# Usage: check_cli.sh MDQA_EXE
+set -u
+
+exe="$1"
+
+status=0
+
+expect() {
+  # $1 = label, $2 = expected exit code, rest = command
+  label="$1"
+  want="$2"
+  shift 2
+  timeout 60 "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "check-cli FAIL: $label exited $got, want $want" >&2
+    status=1
+  fi
+}
+
+expect "check clean .mdq" 0 "$exe" check ../examples/hospital.mdq
+expect "check clean .mdq" 0 "$exe" check ../examples/telecom.mdq
+expect "check warnings" 2 "$exe" check corpus/nonstrict.mdq
+expect "check warnings (.dl)" 2 "$exe" check corpus/undefined_pred.dl
+expect "check errors" 1 "$exe" check corpus/syntax_multi.mdq
+expect "check --json errors" 1 "$exe" check --json corpus/syntax_multi.mdq
+expect "check missing file" 1 "$exe" check corpus/no_such_file.mdq
+expect "context pre-validation" 1 "$exe" context corpus/syntax_multi.mdq
+expect "chase pre-validation" 1 "$exe" chase corpus/nonground_fact.dl
+expect "query pre-validation" 1 "$exe" query corpus/arity_clash.dl
+
+# one pass reports every error: at least 2 "error E..." diagnostics
+n=$(timeout 60 "$exe" check corpus/syntax_multi.mdq 2>/dev/null \
+      | grep -c "error E")
+if [ "$n" -lt 2 ]; then
+  echo "check-cli FAIL: want >=2 error lines in one pass, got $n" >&2
+  status=1
+fi
+
+# --json emits the machine-readable report
+if ! timeout 60 "$exe" check --json corpus/syntax_multi.mdq 2>/dev/null \
+       | grep -q '"diagnostics":\['; then
+  echo "check-cli FAIL: --json did not emit a diagnostics array" >&2
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "check-cli: all exit codes as documented"
+exit $status
