@@ -11,6 +11,7 @@
      dune exec bench/main.exe              reports + scaling + bechamel
      dune exec bench/main.exe -- report    paper reproduction only
      dune exec bench/main.exe -- scaling   scaling experiments only
+     dune exec bench/main.exe -- store     checkpoint overhead (BENCH_store.json)
      dune exec bench/main.exe -- micro     bechamel micro-benchmarks only *)
 
 module Hospital = Mdqa_hospital.Hospital
@@ -318,11 +319,43 @@ let median_time ?(runs = 3) f =
 
 let scaling_sizes = [ 20; 40; 80; 160; 320 ]
 
+(* One checkpointed chase of the ontology, through a throwaway store;
+   returns the guard's checkpoint-byte count and the wall time. *)
+let checkpointed_chase ?(program_text = "% bench workload (not resumable)")
+    m =
+  let module Store = Mdqa_store.Store in
+  let path = Filename.temp_file "mdqa_bench" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".journal"; path ^ ".tmp" ])
+    (fun () ->
+      let guard = Guard.unlimited () in
+      let store =
+        Store.create ~guard ~path ~program_text ~variant:Chase.Restricted ()
+      in
+      let _, t =
+        time_once (fun () ->
+            Chase.run ~guard
+              ~checkpoint:(Store.checkpoint store)
+              (Md_ontology.program m) (Md_ontology.instance m))
+      in
+      let snapshot_bytes =
+        if Sys.file_exists path then
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> in_channel_length ic)
+        else 0
+      in
+      ((Guard.consumption guard).Guard.checkpoint_bytes, snapshot_bytes, t))
+
 let report_c3 () =
   banner "C3 - Sec. IV claim: chase + query answering scale polynomially";
-  Printf.printf "%8s %10s %10s %12s %12s %10s %9s %8s %10s\n" "patients"
+  Printf.printf "%8s %10s %10s %12s %12s %10s %9s %8s %10s %10s\n" "patients"
     "pw-tuples" "facts-out" "chase(s)" "assess(s)" "slope" "g-steps" "g-nulls"
-    "g-rows";
+    "g-rows" "g-ckpt-B";
   let prev = ref None in
   List.iter
     (fun n ->
@@ -343,6 +376,8 @@ let report_c3 () =
       let guard = Guard.unlimited () in
       ignore (Context.assess ~guard ctx ~source:src);
       let cons = Guard.consumption guard in
+      (* checkpoint I/O the durable variant of this size's chase writes *)
+      let ckpt_bytes, _, _ = checkpointed_chase m in
       let slope =
         match !prev with
         | Some (s0, t0) when t0 > 0. && chase_t > 0. ->
@@ -352,13 +387,14 @@ let report_c3 () =
         | _ -> "-"
       in
       prev := Some (pw_tuples, chase_t);
-      Printf.printf "%8d %10d %10d %12.4f %12.4f %10s %9d %8d %10d\n" n
+      Printf.printf "%8d %10d %10d %12.4f %12.4f %10s %9d %8d %10d %10d\n" n
         pw_tuples facts_out chase_t assess_t slope cons.Guard.steps
-        cons.Guard.nulls cons.Guard.rows)
+        cons.Guard.nulls cons.Guard.rows ckpt_bytes)
     scaling_sizes;
   Printf.printf
     "\n(g-* columns: Guard consumption of one assessment run - chase\n\
-    \ steps, invented nulls, join rows emitted by evaluation)\n";
+    \ steps, invented nulls, join rows emitted by evaluation; g-ckpt-B\n\
+    \ is the checkpoint I/O a durable chase of the same ontology writes)\n";
   Printf.printf
     "\n(slope = chase-time growth exponent vs input tuples between\n\
     \ consecutive sizes; polynomial data complexity shows as a small\n\
@@ -577,6 +613,74 @@ let report_ablation_incremental () =
     "\n(the incremental chase only fires triggers involving the new\n\
     \ tuple's consequences)\n"
 
+let report_store () =
+  banner "Store - checkpoint overhead vs checkpoint-free chase";
+  let module Store = Mdqa_store.Store in
+  let workloads =
+    [ ("hospital", fun () -> Hospital.ontology ());
+      ("hospital-x80", fun () -> Hospital.Gen.ontology (Hospital.Gen.scale 80));
+      ("telecom", fun () -> Mdqa_telecom.Telecom.ontology ()) ]
+  in
+  Printf.printf "%-14s %12s %12s %10s %12s %12s %12s\n" "workload" "plain(s)"
+    "ckpt(s)" "overhead" "ckpt-bytes" "snap-bytes" "recover(s)";
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let m = mk () in
+        let plain_t =
+          median_time (fun () ->
+              Chase.run (Md_ontology.program m) (Md_ontology.instance m))
+        in
+        let ckpt_bytes, snapshot_bytes, ckpt_t = checkpointed_chase m in
+        (* recovery cost: load + journal replay of a completed store *)
+        let recover_t =
+          let path = Filename.temp_file "mdqa_bench" ".snap" in
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun p -> if Sys.file_exists p then Sys.remove p)
+                [ path; path ^ ".journal"; path ^ ".tmp" ])
+            (fun () ->
+              let guard = Guard.unlimited () in
+              let store =
+                Store.create ~guard ~path
+                  ~program_text:"% bench workload (not resumable)"
+                  ~variant:Chase.Restricted ()
+              in
+              ignore
+                (Chase.run ~guard
+                   ~checkpoint:(Store.checkpoint store)
+                   (Md_ontology.program m) (Md_ontology.instance m));
+              median_time (fun () ->
+                  match Store.load ~path with
+                  | Ok _ -> ()
+                  | Error _ -> failwith "bench store failed to load"))
+        in
+        let overhead = if plain_t > 0. then ckpt_t /. plain_t else 1. in
+        Printf.printf "%-14s %12.4f %12.4f %9.2fx %12d %12d %12.5f\n" name
+          plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t;
+        Printf.sprintf
+          "    {\"workload\": %S, \"chase_s\": %.6f, \
+           \"chase_checkpointed_s\": %.6f, \"overhead_ratio\": %.4f, \
+           \"checkpoint_bytes\": %d, \"snapshot_bytes\": %d, \
+           \"recover_s\": %.6f}"
+          name plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t)
+      workloads
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"store\",\n  \"description\": \"checkpoint \
+       overhead vs checkpoint-free chase\",\n  \"rows\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" rows)
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "\n(overhead = durable chase wall time / plain chase wall time;\n\
+    \ recover = Store.load, i.e. snapshot read + journal replay)\n";
+  Printf.printf "\nBENCH_store.json written\n"
+
 let scaling () =
   report_c3 ();
   report_c4 ();
@@ -585,7 +689,8 @@ let scaling () =
   report_ablation_goal_directed ();
   report_ablation_core ();
   report_ablation_egd_overhead ();
-  report_ablation_incremental ()
+  report_ablation_incremental ();
+  report_store ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure pipeline *)
@@ -680,6 +785,7 @@ let () =
   (match mode with
    | "report" -> reports ()
    | "scaling" -> scaling ()
+   | "store" -> report_store ()
    | "micro" -> micro ()
    | "all" | _ ->
      reports ();

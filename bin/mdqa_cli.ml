@@ -4,6 +4,9 @@
    (facts, TGDs, EGDs, negative constraints, queries).  Subcommands:
 
      mdqa chase FILE            run the chase, print the saturated instance
+       [--checkpoint STORE]     ... keeping a crash-safe on-disk image
+     mdqa resume STORE          continue an interrupted checkpointed chase
+     mdqa store verify STORE    integrity-check a checkpoint store
      mdqa query FILE [-q Q]     answer queries (chase | proof | rewrite)
      mdqa classify FILE         Datalog± class report and position graph
      mdqa check FILE [--json]   validate: every diagnostic in one pass
@@ -124,8 +127,21 @@ let max_memory_arg =
           "Heap watermark in megabytes.  When the OCaml heap grows past \
            it the run degrades to the partial result (exit code 2).")
 
-let make_guard ~max_steps ~max_nulls ~timeout ~max_memory =
-  Guard.create ~max_steps ~max_nulls ?timeout ?max_memory_mb:max_memory ()
+let max_checkpoint_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-checkpoint-bytes" ] ~docv:"N"
+        ~doc:
+          "Budget for checkpoint-store I/O in bytes.  When a durable run \
+           (see $(b,--checkpoint)) has written this much it degrades to \
+           the partial result (exit code 2); the on-disk image stays \
+           consistent and resumable.")
+
+let make_guard ?max_checkpoint_bytes ~max_steps ~max_nulls ~timeout ~max_memory
+    () =
+  Guard.create ~max_steps ~max_nulls ?timeout ?max_memory_mb:max_memory
+    ?max_checkpoint_bytes ()
 
 let verbose_arg =
   Arg.(
@@ -138,16 +154,23 @@ let oblivious_arg =
     & info [ "oblivious" ]
         ~doc:"Use the oblivious chase instead of the restricted one.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the report as a single JSON object instead of text.")
+
 (* --- chase ----------------------------------------------------------- *)
 
-let run_chase file max_steps max_nulls timeout max_memory oblivious verbose =
-  run_protected @@ fun () ->
-  setup_logging verbose;
-  let { Parser.program; _ } = load file in
-  let inst = Program.instance_of_facts program in
-  let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
-  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
-  let r = Chase.run ~variant ~guard program inst in
+module Store = Mdqa_store.Store
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_chase_result (r : Chase.result) =
   Format.printf "outcome: %a@." Chase.pp_outcome r.Chase.outcome;
   Format.printf
     "rounds: %d  firings: %d  triggers: %d  nulls: %d  egd merges: %d@.@."
@@ -160,7 +183,19 @@ let run_chase file max_steps max_nulls timeout max_memory oblivious verbose =
         R.Table_fmt.print rel;
         print_newline ()
       end)
-    (R.Instance.relations r.Chase.instance);
+    (R.Instance.relations r.Chase.instance)
+
+(* A chase that was asked to checkpoint but could not finalize its
+   on-disk image has still computed a correct in-memory result; the
+   broken durability is its own error. *)
+let report_store_write_error store =
+  match Store.write_error store with
+  | None -> false
+  | Some e ->
+    Format.eprintf "mdqa: checkpoint write failed: %s@." (Printexc.to_string e);
+    true
+
+let chase_exit (r : Chase.result) =
   match r.Chase.outcome with
   | Chase.Saturated -> exit_complete
   | Chase.Out_of_budget e ->
@@ -168,12 +203,126 @@ let run_chase file max_steps max_nulls timeout max_memory oblivious verbose =
     exit_degraded
   | Chase.Failed _ -> exit_error
 
+let run_chase file checkpoint max_steps max_nulls timeout max_memory
+    max_checkpoint_bytes oblivious verbose =
+  run_protected @@ fun () ->
+  setup_logging verbose;
+  let { Parser.program; _ } = load file in
+  let inst = Program.instance_of_facts program in
+  let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
+  let guard =
+    make_guard ?max_checkpoint_bytes ~max_steps ~max_nulls ~timeout
+      ~max_memory ()
+  in
+  let store =
+    Option.map
+      (fun path ->
+        Store.create ~guard ~path ~program_text:(read_file file) ~variant ())
+      checkpoint
+  in
+  let r =
+    Chase.run ~variant ~guard
+      ?checkpoint:(Option.map Store.checkpoint store)
+      program inst
+  in
+  print_chase_result r;
+  let store_broken =
+    match store with Some s -> report_store_write_error s | None -> false
+  in
+  if store_broken then exit_error else chase_exit r
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"STORE"
+        ~doc:
+          "Keep a crash-safe image of the chase at $(docv) (snapshot) and \
+           $(docv).journal (write-ahead deltas).  An interrupted or \
+           degraded run can be continued with $(b,mdqa resume) $(docv).")
+
 let chase_cmd =
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase and print the saturated instance.")
     Cterm.(
-      const run_chase $ file_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
-      $ max_memory_arg $ oblivious_arg $ verbose_arg)
+      const run_chase $ file_arg $ checkpoint_arg $ max_steps_arg
+      $ max_nulls_arg $ timeout_arg $ max_memory_arg
+      $ max_checkpoint_bytes_arg $ oblivious_arg $ verbose_arg)
+
+(* --- resume: continue a checkpointed chase --------------------------- *)
+
+let store_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STORE"
+        ~doc:"Checkpoint store written by $(b,mdqa chase --checkpoint).")
+
+let run_resume path max_steps max_nulls timeout max_memory
+    max_checkpoint_bytes verbose =
+  run_protected @@ fun () ->
+  setup_logging verbose;
+  let guard =
+    make_guard ?max_checkpoint_bytes ~max_steps ~max_nulls ~timeout
+      ~max_memory ()
+  in
+  match Store.resume ~guard ~path () with
+  | Error e ->
+    Format.eprintf "mdqa: %a@." Store.pp_load_error e;
+    exit_error
+  | Ok (r, recovery) ->
+    (match recovery.Store.journal_truncation with
+     | None -> ()
+     | Some t ->
+       Format.eprintf "mdqa: journal truncated (%a); resumed from the %d \
+                       records before it@."
+         Mdqa_store.Journal.pp_truncation t recovery.Store.replayed);
+    print_chase_result r;
+    chase_exit r
+
+let resume_cmd =
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted checkpointed chase from its store: replay \
+          the snapshot plus the valid journal prefix, then chase on to the \
+          same fixpoint the uninterrupted run reaches.  The store needs no \
+          program file — it carries its own.")
+    Cterm.(
+      const run_resume $ store_arg $ max_steps_arg $ max_nulls_arg
+      $ timeout_arg $ max_memory_arg $ max_checkpoint_bytes_arg
+      $ verbose_arg)
+
+(* --- store: inspection of checkpoint stores -------------------------- *)
+
+let run_store_verify path json =
+  run_protected @@ fun () ->
+  let diags, infos = Store.verify ~path in
+  if json then print_endline (Diag.to_json ~file:path diags)
+  else begin
+    List.iter print_endline infos;
+    List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags;
+    Format.printf "%a@." Diag.pp_summary diags
+  end;
+  Diag.exit_code diags
+
+let store_verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Integrity-check a checkpoint store without resuming it: validate \
+          the snapshot's checksums, replay the journal, and report \
+          corruption (E023, exit 1) or a truncated journal tail (W046, \
+          exit 2) with byte-accurate locations.  Exit 0 when the store is \
+          clean.")
+    Cterm.(const run_store_verify $ store_arg $ json_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect checkpoint stores written by $(b,mdqa chase \
+             --checkpoint).")
+    [ store_verify_cmd ]
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -230,7 +379,7 @@ let run_query file engine query_strings goal_directed max_steps max_nulls
   let inst = Program.instance_of_facts program in
   (* One guard governs the whole invocation: the deadline and memory
      watermark are global, so a query list can never outlive --timeout. *)
-  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory () in
   let failed = ref false and degraded = ref false in
   let note_degraded e =
     report_degraded e;
@@ -309,12 +458,6 @@ let classify_cmd =
 
 (* --- check: static validation, all diagnostics in one pass ----------- *)
 
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:"Emit the report as a single JSON object instead of text.")
-
 let run_diag_check file json =
   run_protected @@ fun () ->
   let diags =
@@ -345,7 +488,7 @@ let run_consistency file max_steps max_nulls timeout max_memory =
   run_protected @@ fun () ->
   let { Parser.program; _ } = load file in
   let inst = Program.instance_of_facts program in
-  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory () in
   let r = Chase.run ~guard program inst in
   (match r.Chase.outcome with
    | Chase.Saturated ->
@@ -448,7 +591,7 @@ let run_context file do_repair loads explain_n max_steps max_nulls timeout
   Format.printf "EGD separability: %a@." Separability.pp_verdict
     (Md_ontology.separability ontology);
   Printf.printf "upward-only: %b\n\n" (Md_ontology.is_upward_only ontology);
-  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory () in
   (* Assessment: a saturated chase prints the full report; a degraded
      one prints what was computed before the trip (sound
      under-approximations) and exits 2; a failed one exits 1. *)
@@ -540,7 +683,7 @@ let main_cmd =
        ~doc:
          "Multidimensional ontological contexts for data quality \
           assessment — Datalog± engine CLI.")
-    [ chase_cmd; query_cmd; classify_cmd; check_cmd; consistency_cmd;
-      context_cmd ]
+    [ chase_cmd; resume_cmd; store_cmd; query_cmd; classify_cmd; check_cmd;
+      consistency_cmd; context_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -38,6 +38,25 @@ type result = {
   provenance : ((string * Tuple.t), derivation) Hashtbl.t option;
 }
 
+type checkpoint = {
+  on_start : Instance.t -> unit;
+  on_fact : string -> Tuple.t -> unit;
+  on_merge : from_:Value.t -> into:Value.t -> unit;
+  on_round :
+    instance:Instance.t ->
+    frontier:(string * Tuple.t list) list option ->
+    stats ->
+    unit;
+  on_done : instance:Instance.t -> outcome -> stats -> unit;
+}
+
+let zero_stats =
+  { rounds = 0;
+    tgd_fires = 0;
+    triggers_checked = 0;
+    nulls_created = 0;
+    egd_merges = 0 }
+
 exception Stop of outcome
 
 (* Largest null label in the instance, so fresh nulls never collide. *)
@@ -61,7 +80,7 @@ let trigger_key (tgd : Tgd.t) subst =
 
 let run_internal ?(variant = Restricted) ?(semi_naive = true)
     ?(provenance = false) ?resume_delta ?prior_provenance ?guard ?max_steps
-    ?max_nulls program start =
+    ?max_nulls ?checkpoint ?null_base ?prior_stats program start =
   let guard =
     match guard with
     | Some g -> g
@@ -76,7 +95,16 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   List.iter
     (fun f -> ignore (Instance.add_tuple inst (Atom.pred f) (Atom.to_tuple f)))
     program.Program.facts;
-  let fresh = Value.Fresh.create ~start:(max_null_id inst + 1) () in
+  (* Fresh nulls must dodge both the nulls visible in the instance and
+     (on resume) every null the prior run ever invented — a persisted
+     [null_base] covers nulls that were merged away. *)
+  let fresh =
+    Value.Fresh.create
+      ~start:(max (max_null_id inst + 1) (Option.value ~default:0 null_base))
+      ()
+  in
+  let prior = Option.value ~default:zero_stats prior_stats in
+  let ck f = match checkpoint with Some c -> f c | None -> () in
   let prov : ((string * Tuple.t), derivation) Hashtbl.t option =
     match prior_provenance with
     | Some tbl -> Some (Hashtbl.copy tbl)
@@ -148,6 +176,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
           let t = Atom.to_tuple a in
           if Instance.add_tuple inst (Atom.pred a) t then begin
             new_fact := true;
+            ck (fun c -> c.on_fact (Atom.pred a) t);
             (match prov with
              | Some tbl ->
                if not (Hashtbl.mem tbl (Atom.pred a, t)) then
@@ -188,6 +217,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
       let replace ~from ~into =
         Instance.map_values inst (fun v ->
             if Value.equal v from then into else v);
+        ck (fun c -> c.on_merge ~from_:from ~into);
         (* keep recorded provenance keyed by the merged facts *)
         match prov with
         | None -> ()
@@ -231,8 +261,18 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
       program.Program.ncs
   in
 
+  let current_stats () =
+    { rounds = prior.rounds + !rounds;
+      tgd_fires = prior.tgd_fires + !tgd_fires;
+      triggers_checked = prior.triggers_checked + !triggers_checked;
+      nulls_created = prior.nulls_created + Value.Fresh.count fresh;
+      egd_merges = prior.egd_merges + !egd_merges }
+  in
   let outcome =
     try
+      (* The durable base image: everything below is journaled as a
+         delta against the instance at this point. *)
+      ck (fun c -> c.on_start inst);
       (* EGDs and NCs must hold of the extensional data too. *)
       let merged0 = apply_egds false in
       if merged0 then Hashtbl.reset delta;
@@ -240,12 +280,15 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
       let continue = ref true in
       let first_round = ref true in
       (* Incremental mode: seed the delta with the resumed facts and
-         start semi-naive immediately. *)
+         start semi-naive immediately.  An initial EGD merge rewrites
+         values the seeded tuples may still mention, so it invalidates
+         the frontier: fall back to a full first round. *)
       (match resume_delta with
-       | Some new_facts when semi_naive ->
+       | Some new_facts when semi_naive && not merged0 ->
          List.iter
            (fun (pred, t) ->
-             ignore (Instance.add_tuple inst pred t);
+             if Instance.add_tuple inst pred t then
+               ck (fun c -> c.on_fact pred t);
              let prev =
                Option.value ~default:Tuple.Set.empty
                  (Hashtbl.find_opt delta pred)
@@ -255,7 +298,9 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
          first_round := false
        | Some new_facts ->
          List.iter
-           (fun (pred, t) -> ignore (Instance.add_tuple inst pred t))
+           (fun (pred, t) ->
+             if Instance.add_tuple inst pred t then
+               ck (fun c -> c.on_fact pred t))
            new_facts
        | None -> ());
       while !continue do
@@ -310,27 +355,45 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
           Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) added;
           first_round := false;
           continue := grew
-        end
+        end;
+        (* Round boundary: a durable point.  The frontier is the delta
+           just installed; [None] after a merge, which invalidated it. *)
+        ck (fun c ->
+            let frontier =
+              if merged then None
+              else
+                Some
+                  (Hashtbl.fold
+                     (fun pred s acc -> (pred, Tuple.Set.elements s) :: acc)
+                     delta []
+                  |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+            in
+            c.on_round ~instance:inst ~frontier (current_stats ()))
       done;
       Saturated
     with
     | Stop o -> o
     | Guard.Exhausted e -> Out_of_budget e
   in
-  { instance = inst;
-    outcome;
-    provenance = prov;
-    stats =
-      { rounds = !rounds;
-        tgd_fires = !tgd_fires;
-        triggers_checked = !triggers_checked;
-        nulls_created = Value.Fresh.count fresh;
-        egd_merges = !egd_merges } }
+  let stats = current_stats () in
+  ck (fun c -> c.on_done ~instance:inst outcome stats);
+  { instance = inst; outcome; provenance = prov; stats }
 
-let run ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls program
-    start =
+let run ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls
+    ?checkpoint program start =
   run_internal ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls
-    program start
+    ?checkpoint program start
+
+let resume ?variant ?semi_naive ?guard ?max_steps ?max_nulls ?checkpoint
+    ?frontier ?null_base ?prior_stats program image =
+  (* An empty frontier would make the seeded semi-naive loop terminate
+     immediately whatever the image contains; a full first round is the
+     safe (and cheap, if truly saturated) interpretation. *)
+  let resume_delta =
+    match frontier with Some (_ :: _ as l) -> Some l | _ -> None
+  in
+  run_internal ?variant ?semi_naive ?guard ?max_steps ?max_nulls ?checkpoint
+    ?resume_delta ?null_base ?prior_stats program image
 
 let extend ?guard ?max_steps ?max_nulls program (prior : result) ~facts =
   match prior.outcome with

@@ -70,6 +70,33 @@ type result = {
           extensional.  EGD merges remap recorded facts consistently. *)
 }
 
+type checkpoint = {
+  on_start : Mdqa_relational.Instance.t -> unit;
+      (** called once, before the first round, with the fully
+          initialized working instance (program facts merged, all
+          predicates declared): the durable base image *)
+  on_fact : string -> Mdqa_relational.Tuple.t -> unit;
+      (** a fact was added ({e after} the instance mutation) *)
+  on_merge :
+    from_:Mdqa_relational.Value.t -> into:Mdqa_relational.Value.t -> unit;
+      (** an EGD merge rewrote every [from_] to [into] *)
+  on_round :
+    instance:Mdqa_relational.Instance.t ->
+    frontier:(string * Mdqa_relational.Tuple.t list) list option ->
+    stats ->
+    unit;
+      (** a round completed; [frontier] is the semi-naive delta for the
+          next round, [None] when an EGD merge invalidated it *)
+  on_done : instance:Mdqa_relational.Instance.t -> outcome -> stats -> unit;
+      (** the run ended (saturated, degraded or failed).  Implementors
+          must not raise: exceptions here would mask the outcome. *)
+}
+(** Durability hooks, called synchronously in mutation order so that a
+    listener (the [Mdqa_store] write-ahead journal) always holds a
+    prefix of the chase's own mutation sequence.  [on_fact]/[on_merge]
+    may raise {!Guard.Exhausted} (e.g. a checkpoint byte budget): the
+    run then degrades to [Out_of_budget] like any other trip. *)
+
 val run :
   ?variant:variant ->
   ?semi_naive:bool ->
@@ -77,6 +104,7 @@ val run :
   ?guard:Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
+  ?checkpoint:checkpoint ->
   Program.t ->
   Mdqa_relational.Instance.t ->
   result
@@ -91,6 +119,33 @@ val run :
     [max_steps] (default 1_000_000) and [max_nulls] (default 100_000).
     A guard trip never raises out of [run]: it returns the partial
     instance with [Out_of_budget]. *)
+
+val resume :
+  ?variant:variant ->
+  ?semi_naive:bool ->
+  ?guard:Guard.t ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  ?checkpoint:checkpoint ->
+  ?frontier:(string * Mdqa_relational.Tuple.t) list ->
+  ?null_base:int ->
+  ?prior_stats:stats ->
+  Program.t ->
+  Mdqa_relational.Instance.t ->
+  result
+(** Continue an interrupted chase from a recovered image (see
+    [Mdqa_store.Store]): chases a copy of [image] to the same fixpoint
+    an uninterrupted run reaches — same facts up to the labels of nulls
+    invented after the interruption, same outcome.
+
+    [frontier] (if non-empty) seeds the semi-naive delta so the first
+    round only considers triggers involving facts added since the last
+    completed round; without it the first round evaluates every rule
+    body in full — always sound, just slower.  [null_base] lower-bounds
+    fresh null labels so resumed runs never re-issue a label the prior
+    run used (even one merged away by an EGD); [prior_stats] are folded
+    into the reported statistics.  Provenance does not survive a resume
+    (it is not persisted). *)
 
 val extend :
   ?guard:Guard.t ->

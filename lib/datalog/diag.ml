@@ -26,14 +26,17 @@ let registry =
     ("E020", "non-dimensional-constraint");
     ("E021", "dangling-wiring");
     ("E022", "csv-error");
+    ("E023", "store-corrupt");
     ("W040", "undefined-predicate");
     ("W041", "not-weakly-sticky");
     ("W042", "quality-version-undefined");
     ("W043", "non-strict-hierarchy");
     ("W044", "non-homogeneous-hierarchy");
     ("W045", "referential-violation");
+    ("W046", "store-truncated");
     ("H050", "qa-path");
-    ("H051", "unused-map-target") ]
+    ("H051", "unused-map-target");
+    ("H052", "stale-checkpoint-temp") ]
 
 let describe code = List.assoc_opt code registry
 let codes = registry

@@ -22,11 +22,13 @@
     - [E014] invalid-dimension, [E015] unknown-category, [E016]
       duplicate-member, [E017] invalid-link, [E018] invalid-relation;
     - [E019] invalid-rule, [E020] non-dimensional-constraint, [E021]
-      dangling-wiring, [E022] csv-error;
+      dangling-wiring, [E022] csv-error, [E023] store-corrupt;
     - [W040] undefined-predicate, [W041] not-weakly-sticky, [W042]
       quality-version-undefined, [W043] non-strict-hierarchy, [W044]
-      non-homogeneous-hierarchy, [W045] referential-violation;
-    - [H050] qa-path, [H051] unused-map-target. *)
+      non-homogeneous-hierarchy, [W045] referential-violation, [W046]
+      store-truncated;
+    - [H050] qa-path, [H051] unused-map-target, [H052]
+      stale-checkpoint-temp. *)
 
 type severity = Error | Warning | Hint
 

@@ -4,6 +4,7 @@ type resource =
   | Rows
   | Cqs
   | Repair_branches
+  | Checkpoint_bytes
   | Deadline
   | Memory
   | Cancelled
@@ -20,6 +21,7 @@ type consumption = {
   rows : int;
   cqs : int;
   repair_branches : int;
+  checkpoint_bytes : int;
   elapsed : float;
   heap_mb : float;
 }
@@ -53,6 +55,7 @@ type t = {
   max_rows : int option;
   max_cqs : int option;
   max_repair_branches : int option;
+  max_checkpoint_bytes : int option;
   deadline : float option;  (* absolute, in the guard's clock *)
   timeout : float option;  (* the configured relative limit, for reports *)
   max_memory_mb : float option;
@@ -65,6 +68,7 @@ type t = {
   mutable rows : int;
   mutable cqs : int;
   mutable repair_branches : int;
+  mutable checkpoint_bytes : int;
   mutable ticks : int;
   mutable heap_mb : float;
   mutable cancelled : bool;
@@ -72,7 +76,8 @@ type t = {
 }
 
 let create ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
-    ?timeout ?max_memory_mb ?clock ?heap_sampler ?(check_every = 64) () =
+    ?max_checkpoint_bytes ?timeout ?max_memory_mb ?clock ?heap_sampler
+    ?(check_every = 64) () =
   if check_every < 1 then invalid_arg "Guard.create: check_every < 1";
   let clock = Option.value ~default:Clock.now clock in
   let heap_sampler = Option.value ~default:default_heap_sampler heap_sampler in
@@ -82,6 +87,7 @@ let create ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
     max_rows;
     max_cqs;
     max_repair_branches;
+    max_checkpoint_bytes;
     deadline = Option.map (fun s -> started +. s) timeout;
     timeout;
     max_memory_mb;
@@ -94,6 +100,7 @@ let create ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
     rows = 0;
     cqs = 0;
     repair_branches = 0;
+    checkpoint_bytes = 0;
     ticks = 0;
     heap_mb = 0.;
     cancelled = false;
@@ -180,12 +187,26 @@ let count_repair_branch g =
     ~get:(fun g -> g.repair_branches)
     ~set:(fun g n -> g.repair_branches <- n)
 
+(* Checkpoint I/O arrives in multi-byte chunks, so this counter takes
+   an increment instead of assuming 1 like the others. *)
+let count_checkpoint_bytes g n =
+  if n < 0 then invalid_arg "Guard.count_checkpoint_bytes: negative";
+  reraise_if_tripped g;
+  g.checkpoint_bytes <- g.checkpoint_bytes + n;
+  (match g.max_checkpoint_bytes with
+   | Some l when g.checkpoint_bytes > l ->
+     trip g Checkpoint_bytes ~limit:(float_of_int l)
+       ~used:(float_of_int g.checkpoint_bytes)
+   | _ -> ());
+  tick g
+
 let consumption g =
   { steps = g.steps;
     nulls = g.nulls;
     rows = g.rows;
     cqs = g.cqs;
     repair_branches = g.repair_branches;
+    checkpoint_bytes = g.checkpoint_bytes;
     elapsed = g.clock () -. g.started;
     heap_mb = (if g.heap_mb > 0. then g.heap_mb else g.heap_sampler ()) }
 
@@ -210,6 +231,7 @@ let resource_name = function
   | Rows -> "rows"
   | Cqs -> "cqs"
   | Repair_branches -> "repair branches"
+  | Checkpoint_bytes -> "checkpoint bytes"
   | Deadline -> "deadline"
   | Memory -> "memory"
   | Cancelled -> "cancelled"
@@ -231,5 +253,7 @@ let pp_exhaustion ppf e =
 
 let pp_consumption ppf (c : consumption) =
   Format.fprintf ppf
-    "steps %d, nulls %d, rows %d, cqs %d, repair branches %d, %.3fs, %.1f MiB"
-    c.steps c.nulls c.rows c.cqs c.repair_branches c.elapsed c.heap_mb
+    "steps %d, nulls %d, rows %d, cqs %d, repair branches %d, checkpoint \
+     bytes %d, %.3fs, %.1f MiB"
+    c.steps c.nulls c.rows c.cqs c.repair_branches c.checkpoint_bytes
+    c.elapsed c.heap_mb

@@ -26,6 +26,7 @@ type resource =
   | Rows  (** join rows emitted by {!Eval} *)
   | Cqs  (** conjunctive queries produced by {!Rewrite} *)
   | Repair_branches  (** hitting-set search branches in repairs *)
+  | Checkpoint_bytes  (** bytes written to a chase checkpoint store *)
   | Deadline  (** wall-clock timeout *)
   | Memory  (** heap watermark *)
   | Cancelled  (** cooperative cancellation was requested *)
@@ -42,6 +43,10 @@ type consumption = {
   rows : int;
   cqs : int;
   repair_branches : int;
+  checkpoint_bytes : int;
+      (** snapshot + journal bytes written by the durability layer
+          ([lib/store]), so [--timeout] / [--max-memory] runs report
+          checkpoint I/O alongside the compute budgets *)
   elapsed : float;  (** seconds since the guard was created *)
   heap_mb : float;  (** heap size at the last sample, in MiB *)
 }
@@ -70,6 +75,7 @@ val create :
   ?max_rows:int ->
   ?max_cqs:int ->
   ?max_repair_branches:int ->
+  ?max_checkpoint_bytes:int ->
   ?timeout:float ->
   ?max_memory_mb:float ->
   ?clock:(unit -> float) ->
@@ -118,6 +124,11 @@ val count_cq : t -> unit
 val count_repair_branch : t -> unit
 (** Consume one repair-search branch.
     @raise Exhausted past [max_repair_branches]. *)
+
+val count_checkpoint_bytes : t -> int -> unit
+(** [count_checkpoint_bytes g n] consumes [n] bytes of checkpoint I/O
+    (snapshot or journal writes).
+    @raise Exhausted past [max_checkpoint_bytes]. *)
 
 val consumption : t -> consumption
 (** Current consumption — usable as per-run stats by the bench

@@ -25,7 +25,9 @@ val relation_of_string_result :
     first offending cell — never raises. *)
 
 val relation_of_string : name:string -> string -> Relation.t
-(** Fail-fast wrapper over {!relation_of_string_result}.
+(** Compatibility only — new code should use
+    {!relation_of_string_result}, which reports {e every} problem with
+    its location instead of aborting on the first.  Fail-fast wrapper:
     @raise Failure with the first error on ragged rows or empty
     input. *)
 
@@ -39,4 +41,5 @@ val load_relation_result :
 (** @raise Sys_error on I/O failure only. *)
 
 val load_relation : name:string -> string -> Relation.t
-(** [load_relation ~name path]. @raise Sys_error / Failure. *)
+(** Compatibility only — new code should use {!load_relation_result}.
+    [load_relation ~name path]. @raise Sys_error / Failure. *)

@@ -1,0 +1,30 @@
+(* CRC-32/ISO-HDLC: polynomial 0xEDB88320 (reflected), init and final
+   xor 0xFFFFFFFF — the checksum of zlib, PNG and gzip, so stored files
+   can be cross-checked with standard tools. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let run get ?(pos = 0) ?len data total =
+  let len = Option.value ~default:(total - pos) len in
+  if pos < 0 || len < 0 || pos + len > total then
+    invalid_arg "Crc32.digest: out of bounds";
+  let t = Lazy.force table in
+  let c = ref mask in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (get data i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor mask
+
+let digest ?pos ?len s = run String.unsafe_get ?pos ?len s (String.length s)
+
+let digest_bytes ?pos ?len b =
+  run Bytes.unsafe_get ?pos ?len b (Bytes.length b)

@@ -1,0 +1,66 @@
+(** Versioned, checksummed snapshots of a chase image.
+
+    A snapshot is the durable base of a {!Store}: the full instance
+    plus everything the chase needs to continue exactly where it
+    stopped — the program source text, the chase variant, the fresh-null
+    counter, cumulative statistics and the semi-naive frontier.
+
+    {2 On-disk format (version 1)}
+
+    {v
+    "MDQASNAP"            magic, 8 bytes
+    u32 version           = 1
+    u32 section-count
+    section*:
+      u8  tag             'P' program | 'I' instance | 'C' chase state
+      u32 payload length
+      u32 payload CRC-32
+      payload bytes
+    v}
+
+    Every section is independently checksummed; a snapshot is accepted
+    only if the magic, version, every length and every CRC check out —
+    otherwise {!read} returns a located {!corruption} (never raises).
+
+    {2 Durability}
+
+    {!write} is atomic and crash-safe: the image is written to
+    [path ^ ".tmp"], fsynced, renamed over [path], and the directory is
+    fsynced.  A crash at any point leaves either the old snapshot or
+    the new one at [path], never a torn mixture; a stale [.tmp] from a
+    crashed writer is ignored (and overwritten) by the next write. *)
+
+type t = {
+  program_text : string;
+      (** the Datalog± source the image was chased under, so a store is
+          self-contained: [mdqa resume] needs no program argument *)
+  variant : Mdqa_datalog.Chase.variant;
+  instance : Mdqa_relational.Instance.t;
+  null_base : int;
+      (** next fresh labeled-null id; at least one past every null ever
+          invented, including nulls later merged away *)
+  stats : Mdqa_datalog.Chase.stats;  (** cumulative across resumes *)
+  frontier :
+    (string * Mdqa_relational.Tuple.t list) list option;
+      (** the semi-naive delta at the snapshot point: facts added by the
+          last completed round.  [None] means the frontier is unknown
+          (fresh image, or invalidated by an EGD merge) and the resumed
+          chase must start with a full evaluation round. *)
+}
+
+type corruption = {
+  offset : int;  (** byte offset into the snapshot file *)
+  what : string;  (** which part: ["header"], ["section 'I'"], ... *)
+  reason : string;
+}
+
+val write : path:string -> t -> int
+(** Atomic, fsynced write; returns the number of bytes in the image.
+    @raise Sys_error / Unix.Unix_error on I/O failure. *)
+
+val read : path:string -> (t, corruption) result
+(** Never raises: missing files, short reads, bad magic, unsupported
+    versions, truncation and checksum mismatches all come back as
+    [Error] with the first offending byte offset. *)
+
+val pp_corruption : Format.formatter -> corruption -> unit

@@ -1,0 +1,334 @@
+module Instance = Mdqa_relational.Instance
+module Relation = Mdqa_relational.Relation
+module Tuple = Mdqa_relational.Tuple
+module Value = Mdqa_relational.Value
+module Chase = Mdqa_datalog.Chase
+module Guard = Mdqa_datalog.Guard
+module Diag = Mdqa_datalog.Diag
+module Parser = Mdqa_datalog.Parser
+
+let journal_path path = path ^ ".journal"
+let temp_path path = path ^ ".tmp"
+
+let zero_stats =
+  { Chase.rounds = 0; tgd_fires = 0; triggers_checked = 0; nulls_created = 0;
+    egd_merges = 0 }
+
+type t = {
+  path : string;
+  guard : Guard.t option;
+  compact_bytes : int;
+  program_text : string;
+  variant : Chase.variant;
+  mutable writer : Journal.writer option;
+  mutable journal_bytes : int;
+  mutable max_null : int;  (** largest null label seen so far; -1 if none *)
+  mutable start_frontier : (string * Tuple.t list) list option;
+  mutable start_stats : Chase.stats;
+  mutable write_error : exn option;
+}
+
+let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ~path ~program_text
+    ~variant () =
+  { path; guard; compact_bytes; program_text; variant; writer = None;
+    journal_bytes = 0; max_null = -1; start_frontier = None;
+    start_stats = zero_stats; write_error = None }
+
+let write_error st = st.write_error
+
+let close st =
+  match st.writer with
+  | None -> ()
+  | Some w ->
+    st.writer <- None;
+    Journal.close w
+
+(* Budget accounting runs AFTER the corresponding write so that the
+   journal never lies about what happened; a [Guard.Exhausted] raised
+   here propagates out of on_fact/on_merge and degrades the chase. *)
+let account st n =
+  match st.guard with
+  | None -> ()
+  | Some g -> Guard.count_checkpoint_bytes g n
+
+let note_value st = function
+  | Value.Null k -> if k > st.max_null then st.max_null <- k
+  | _ -> ()
+
+let note_tuple st t = List.iter (note_value st) (Tuple.to_list t)
+
+let note_instance st inst = Instance.iter_facts (fun _ t -> note_tuple st t) inst
+
+let write_snapshot st ~instance ~frontier ~stats =
+  Snapshot.write ~path:st.path
+    { Snapshot.program_text = st.program_text; variant = st.variant; instance;
+      null_base = st.max_null + 1; stats; frontier }
+
+(* Compaction: fold the journal into a fresh snapshot.  The snapshot
+   rename commits FIRST; only then is the journal truncated.  A crash
+   between the two leaves journal records that are already in the
+   snapshot — replay is idempotent, so recovery is unaffected. *)
+let compact st ~instance ~frontier ~stats =
+  let snap_bytes = write_snapshot st ~instance ~frontier ~stats in
+  (match st.writer with Some w -> Journal.close w | None -> ());
+  st.writer <- Some (Journal.create ~path:(journal_path st.path));
+  st.journal_bytes <- 0;
+  account st snap_bytes
+
+let append st record =
+  match st.writer with
+  | None -> ()
+  | Some w ->
+    let n = Journal.append w record in
+    st.journal_bytes <- st.journal_bytes + n;
+    account st n
+
+let checkpoint st =
+  { Chase.on_start =
+      (fun inst ->
+        note_instance st inst;
+        compact st ~instance:inst ~frontier:st.start_frontier
+          ~stats:st.start_stats);
+    on_fact =
+      (fun pred tuple ->
+        note_tuple st tuple;
+        append st (Journal.Fact (pred, tuple)));
+    on_merge =
+      (fun ~from_ ~into ->
+        note_value st from_;
+        note_value st into;
+        append st (Journal.Merge { from_; into }));
+    on_round =
+      (fun ~instance ~frontier stats ->
+        append st (Journal.Round { merged = frontier = None; stats });
+        (match st.writer with Some w -> Journal.sync w | None -> ());
+        if st.journal_bytes >= st.compact_bytes then
+          compact st ~instance ~frontier ~stats);
+    on_done =
+      (fun ~instance _outcome stats ->
+        (* Must not raise: the chase result would be lost to a full
+           disk or a tripped budget.  Failures land in [write_error]. *)
+        try
+          compact st ~instance ~frontier:None ~stats;
+          close st
+        with
+        | Guard.Exhausted _ ->
+          (* The guard was already tripped (that is why the run is
+             ending); the final image is still written before the
+             accounting tick re-raises.  Not a write failure. *)
+          close st
+        | e -> if st.write_error = None then st.write_error <- Some e);
+  }
+
+(* --- recovery -------------------------------------------------------- *)
+
+type recovery = {
+  program_text : string;
+  variant : Chase.variant;
+  instance : Instance.t;
+  frontier : (string * Tuple.t) list option;
+  null_base : int;
+  stats : Chase.stats;
+  replayed : int;
+  journal_truncation : Journal.truncation option;
+}
+
+type load_error =
+  | No_store of string
+  | Corrupt_snapshot of Snapshot.corruption
+  | Bad_program of { line : int; message : string }
+
+let pp_load_error ppf = function
+  | No_store p -> Format.fprintf ppf "no snapshot at %s" p
+  | Corrupt_snapshot c ->
+    Format.fprintf ppf "corrupt snapshot: %a" Snapshot.pp_corruption c
+  | Bad_program { line; message } ->
+    Format.fprintf ppf "stored program no longer parses (line %d): %s" line
+      message
+
+let flatten_frontier = function
+  | None -> None
+  | Some groups ->
+    Some
+      (List.concat_map (fun (p, ts) -> List.map (fun t -> (p, t)) ts) groups)
+
+let group_frontier = function
+  | None -> None
+  | Some pairs ->
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (p, t) ->
+        match Hashtbl.find_opt tbl p with
+        | None ->
+          Hashtbl.add tbl p (ref [ t ]);
+          order := p :: !order
+        | Some l -> l := t :: !l)
+      pairs;
+    Some
+      (List.rev_map (fun p -> (p, List.rev !(Hashtbl.find tbl p))) !order)
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (No_store path)
+  else
+    match Snapshot.read ~path with
+    | Error c -> Error (Corrupt_snapshot c)
+    | Ok snap ->
+      let inst = snap.Snapshot.instance in
+      let jpath = journal_path path in
+      let jr =
+        if Sys.file_exists jpath then Journal.read ~path:jpath
+        else { Journal.records = []; truncation = None; valid_bytes = 0 }
+      in
+      let truncation = ref jr.Journal.truncation in
+      let max_null = ref (snap.Snapshot.null_base - 1) in
+      let note v =
+        match v with
+        | Value.Null k -> if k > !max_null then max_null := k
+        | _ -> ()
+      in
+      (* Replay state: [segment] collects the facts appended since the
+         last [Round] record (in reverse); a [Round] turns the segment
+         into the current frontier.  A trailing segment (crash
+         mid-round) is unioned into the frontier so the resumed round
+         covers both the last completed delta and the partial one. *)
+      let frontier = ref (flatten_frontier snap.Snapshot.frontier) in
+      let segment = ref [] in
+      let segment_merged = ref false in
+      let stats = ref snap.Snapshot.stats in
+      let replayed = ref 0 in
+      let stopped = ref false in
+      let stop offset reason =
+        stopped := true;
+        truncation := Some { Journal.offset; reason }
+      in
+      List.iter
+        (fun (off, record) ->
+          if not !stopped then
+            match record with
+            | Journal.Fact (pred, tuple) -> (
+              match Instance.find inst pred with
+              | None ->
+                stop off
+                  (Printf.sprintf
+                     "journal fact for predicate %S absent from snapshot" pred)
+              | Some rel ->
+                if Relation.arity rel <> Tuple.arity tuple then
+                  stop off
+                    (Printf.sprintf
+                       "journal fact arity %d does not match %S/%d"
+                       (Tuple.arity tuple) pred (Relation.arity rel))
+                else begin
+                  (* Duplicates are expected after a crash inside
+                     compaction (snapshot committed, journal not yet
+                     truncated): [add] is a no-op then. *)
+                  if Relation.add rel tuple then
+                    segment := (pred, tuple) :: !segment;
+                  List.iter note (Tuple.to_list tuple);
+                  incr replayed
+                end)
+            | Journal.Merge { from_; into } ->
+              Instance.map_values inst (fun v ->
+                  if Value.equal v from_ then into else v);
+              note into;
+              segment_merged := true;
+              incr replayed
+            | Journal.Round { merged; stats = s } ->
+              stats := s;
+              frontier :=
+                (if merged || !segment_merged then None
+                 else Some (List.rev !segment));
+              segment := [];
+              segment_merged := false;
+              incr replayed)
+        jr.Journal.records;
+      let frontier =
+        if !segment_merged then None
+        else
+          match (!frontier, List.rev !segment) with
+          | Some f, trailing -> Some (f @ trailing)
+          | None, _ ->
+            (* Unknown base frontier: only a full first round is sound,
+               trailing facts or not. *)
+            None
+      in
+      Ok
+        { program_text = snap.Snapshot.program_text;
+          variant = snap.Snapshot.variant;
+          instance = inst;
+          frontier;
+          null_base = !max_null + 1;
+          stats = !stats;
+          replayed = !replayed;
+          journal_truncation = !truncation }
+
+let resume ?guard ?compact_bytes ?max_steps ?max_nulls ~path () =
+  match load ~path with
+  | Error e -> Error e
+  | Ok r -> (
+    match Parser.parse_string r.program_text with
+    | exception Parser.Error { line; message; _ } ->
+      Error (Bad_program { line; message })
+    | parsed ->
+      let st =
+        create ?guard ?compact_bytes ~path ~program_text:r.program_text
+          ~variant:r.variant ()
+      in
+      st.max_null <- r.null_base - 1;
+      st.start_frontier <- group_frontier r.frontier;
+      st.start_stats <- r.stats;
+      let result =
+        Chase.resume ~variant:r.variant ?guard ?max_steps ?max_nulls
+          ~checkpoint:(checkpoint st) ?frontier:r.frontier
+          ~null_base:r.null_base ~prior_stats:r.stats parsed.Parser.program
+          r.instance
+      in
+      Ok (result, r))
+
+(* --- inspection ------------------------------------------------------ *)
+
+let verify ~path =
+  let diags = ref [] in
+  let infos = ref [] in
+  let add d = diags := d :: !diags in
+  let info fmt = Printf.ksprintf (fun s -> infos := s :: !infos) fmt in
+  (match load ~path with
+   | Error (No_store p) ->
+     add
+       (Diag.make ~file:path Diag.Error ~code:"E023"
+          (Printf.sprintf "no snapshot at %s" p))
+   | Error (Corrupt_snapshot c) ->
+     add
+       (Diag.make ~file:path Diag.Error ~code:"E023"
+          (Format.asprintf "snapshot corrupt: %a" Snapshot.pp_corruption c))
+   | Error (Bad_program { line; message }) ->
+     add
+       (Diag.make ~file:path ~line Diag.Error ~code:"E023"
+          (Printf.sprintf "stored program does not parse: %s" message))
+   | Ok r ->
+     info "snapshot: %d relations, %d tuples, null base %d"
+       (List.length (Instance.relations r.instance))
+       (Instance.total_tuples r.instance)
+       r.null_base;
+     info "chase state: %d rounds, %d TGD fires, %d EGD merges%s"
+       r.stats.Chase.rounds r.stats.Chase.tgd_fires r.stats.Chase.egd_merges
+       (match r.frontier with
+        | Some f -> Printf.sprintf "; frontier of %d facts" (List.length f)
+        | None -> "; no frontier (full first round on resume)");
+     if Sys.file_exists (journal_path path) then
+       info "journal: %d records replayed" r.replayed
+     else info "journal: absent";
+     (match r.journal_truncation with
+      | None -> ()
+      | Some t ->
+        add
+          (Diag.make ~file:(journal_path path) Diag.Warning ~code:"W046"
+             (Format.asprintf
+                "journal truncated at %a; %d records recovered"
+                Journal.pp_truncation t r.replayed))));
+  if Sys.file_exists (temp_path path) then
+    add
+      (Diag.make ~file:(temp_path path) Diag.Hint ~code:"H052"
+         "stale temporary snapshot from an interrupted write; it is \
+          ignored and will be overwritten");
+  (List.rev !diags, List.rev !infos)

@@ -1,0 +1,118 @@
+(** Crash-safe checkpoint stores for the chase.
+
+    A store makes a long chase durable: its state on disk is a
+    {!Snapshot} (the base image) plus a {!Journal} (the deltas since),
+    kept at [path] and [path ^ ".journal"].  Attach a store to
+    [Chase.run ~checkpoint] and every run — saturated, degraded by a
+    {!Mdqa_datalog.Guard} budget, killed by the OS — leaves a resumable
+    image behind; {!resume} replays it and continues to the same
+    fixpoint the uninterrupted run reaches.
+
+    {2 Crash-safety invariants}
+
+    - Snapshot writes are atomic (write-temp, fsync, rename, fsync
+      directory): [path] always holds a complete old or complete new
+      image, never a torn one.
+    - The journal is append-only with per-record CRCs; {!load} replays
+      the longest valid prefix and {e truncates} at the first torn or
+      corrupt record instead of failing.
+    - Compaction (snapshot rewrite, journal reset) orders the snapshot
+      rename {e before} the journal truncation, so a crash between the
+      two only leaves redundant journal records — replay is idempotent
+      (re-adding a fact and re-applying a merge are no-ops).
+    - Recovery never raises: every failure mode is a value
+      ({!Snapshot.corruption}, {!Journal.truncation}, {!load_error}).
+
+    Checkpoint I/O is accounted to the attached guard as
+    [Guard.Checkpoint_bytes]. *)
+
+type t
+(** An open store being written by a chase. *)
+
+val journal_path : string -> string
+(** [journal_path path] is [path ^ ".journal"]. *)
+
+val create :
+  ?guard:Mdqa_datalog.Guard.t ->
+  ?compact_bytes:int ->
+  path:string ->
+  program_text:string ->
+  variant:Mdqa_datalog.Chase.variant ->
+  unit ->
+  t
+(** A store for a fresh chase.  Nothing is written until the chase
+    calls the [on_start] hook (so a run that fails validation leaves no
+    files).  When the journal grows past [compact_bytes] (default
+    4 MiB) it is folded into a fresh snapshot at the next round
+    boundary. *)
+
+val checkpoint : t -> Mdqa_datalog.Chase.checkpoint
+(** The hooks to pass as [Chase.run ~checkpoint].  [on_fact]/[on_merge]
+    append journal records (and may raise [Guard.Exhausted] when a
+    checkpoint byte budget trips — degrading the run); [on_round] syncs
+    the journal and compacts if due; [on_done] writes the final
+    snapshot and resets the journal, swallowing I/O errors into
+    {!write_error} so the chase result is never lost to a full disk. *)
+
+val write_error : t -> exn option
+(** The first exception swallowed while finalizing the store, if any:
+    the in-memory result is good, but the on-disk image may be stale. *)
+
+val close : t -> unit
+(** Close the journal fd.  Idempotent; called automatically by
+    [on_done]. *)
+
+(** {1 Recovery} *)
+
+type recovery = {
+  program_text : string;
+  variant : Mdqa_datalog.Chase.variant;
+  instance : Mdqa_relational.Instance.t;
+      (** snapshot image + replayed journal prefix: a well-formed
+          prefix of the interrupted chase *)
+  frontier : (string * Mdqa_relational.Tuple.t) list option;
+      (** semi-naive delta to seed the resumed chase; [None] forces a
+          full (always sound) first round *)
+  null_base : int;  (** safe lower bound for fresh null labels *)
+  stats : Mdqa_datalog.Chase.stats;
+      (** cumulative stats at the last durable round boundary *)
+  replayed : int;  (** journal records applied *)
+  journal_truncation : Journal.truncation option;
+      (** where and why journal replay stopped early, if it did *)
+}
+
+type load_error =
+  | No_store of string  (** no snapshot at the path *)
+  | Corrupt_snapshot of Snapshot.corruption
+  | Bad_program of { line : int; message : string }
+      (** the stored program text no longer parses (version skew) —
+          only possible for {!resume}, {!load} does not parse *)
+
+val load : path:string -> (recovery, load_error) result
+(** Read snapshot + journal and replay.  Total: corruption comes back
+    as [Error] (snapshot) or as [journal_truncation] (journal — the
+    valid prefix is still returned). *)
+
+val resume :
+  ?guard:Mdqa_datalog.Guard.t ->
+  ?compact_bytes:int ->
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  path:string ->
+  unit ->
+  (Mdqa_datalog.Chase.result * recovery, load_error) result
+(** {!load}, re-parse the stored program, compact the recovered image
+    into a fresh snapshot (discarding any torn journal tail), and
+    continue the chase — with checkpointing still on, so the resumed
+    run is itself resumable.  Reaches the same saturated instance (same
+    facts modulo the labels of nulls invented after the interruption)
+    and the same outcome as an uninterrupted run. *)
+
+(** {1 Inspection} *)
+
+val verify : path:string -> Mdqa_datalog.Diag.t list * string list
+(** Integrity report for [mdqa store verify]: located diagnostics
+    (E023 store-corrupt, W046 store-truncated, H052 stale temp file)
+    plus human-readable summary lines.  Never raises. *)
+
+val pp_load_error : Format.formatter -> load_error -> unit

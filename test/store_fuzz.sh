@@ -1,0 +1,108 @@
+#!/bin/sh
+# Fault-injection sweep for the checkpoint store, end to end through the
+# CLI: interrupt a checkpointed chase, resume it; corrupt the files with
+# dd (truncation, bit damage, garbage temp files) and demand that
+# `mdqa store verify` and `mdqa resume` always terminate with a
+# meaningful exit code (0 clean / 2 truncated journal / 1 corrupt
+# snapshot) — never a crash, never a hang.
+#
+# Usage: store_fuzz.sh MDQA_EXE
+set -u
+
+exe="$1"
+dir=$(mktemp -d "${TMPDIR:-/tmp}/mdqa_store_fuzz.XXXXXX")
+trap 'rm -rf "$dir"' EXIT
+status=0
+
+run() {
+  # $1 = label, $2 = expected exit code(s), space-separated; rest = command
+  label="$1"
+  want="$2"
+  shift 2
+  timeout 60 "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -eq 124 ]; then
+    echo "store_fuzz FAIL: $label hung (killed after 60s)" >&2
+    status=1
+    return
+  fi
+  for w in $want; do
+    [ "$got" -eq "$w" ] && return
+  done
+  echo "store_fuzz FAIL: $label exited $got, want one of: $want" >&2
+  status=1
+}
+
+# A chase long enough to interrupt mid-way: transitive closure over a
+# chain, plus an existential rule so labeled nulls are in play.
+prog="$dir/prog.dl"
+{
+  i=1
+  while [ "$i" -le 40 ]; do
+    echo "e($i, $((i + 1)))."
+    i=$((i + 1))
+  done
+  echo 't(X, Y) :- e(X, Y).'
+  echo 't(X, Z) :- t(X, Y), e(Y, Z).'
+  echo 'a(tom).'
+  echo 'p(X, Y) :- a(X).'
+} > "$prog"
+
+ck="$dir/ck.snap"
+
+# 1. interrupted chase leaves a resumable store
+run "interrupted checkpoint chase" 2 \
+  "$exe" chase "$prog" --checkpoint "$ck" --max-steps 50
+[ -f "$ck" ] || { echo "store_fuzz FAIL: no snapshot written" >&2; status=1; }
+run "verify after interruption" "0 2" "$exe" store verify "$ck"
+run "resume completes" 0 "$exe" resume "$ck"
+run "verify after resume" 0 "$exe" store verify "$ck"
+run "resume of a completed store" 0 "$exe" resume "$ck"
+
+# 2. truncated journal: recovered from the valid prefix (warning, not error)
+run "re-interrupt" 2 "$exe" chase "$prog" --checkpoint "$ck" --max-steps 50
+jn="$ck.journal"
+if [ -f "$jn" ]; then
+  size=$(wc -c < "$jn")
+  half=$((size / 2))
+  dd if="$jn" of="$jn.cut" bs=1 count="$half" 2>/dev/null
+  mv "$jn.cut" "$jn"
+  run "verify with torn journal" "0 2" "$exe" store verify "$ck"
+  run "resume with torn journal" 0 "$exe" resume "$ck"
+fi
+
+# 3. corrupted snapshot: detected, reported, exit 1 — never a crash
+run "make store" 2 "$exe" chase "$prog" --checkpoint "$ck" --max-steps 50
+size=$(wc -c < "$ck")
+for off in 0 8 12 20 $((size / 2)) $((size - 2)); do
+  cp "$ck" "$ck.orig"
+  printf '\377' | dd of="$ck" bs=1 seek="$off" conv=notrunc 2>/dev/null
+  run "verify with snapshot byte $off damaged" "1 0" "$exe" store verify "$ck"
+  run "resume with snapshot byte $off damaged" "1 0" "$exe" resume "$ck"
+  mv "$ck.orig" "$ck"
+done
+
+# 4. truncated snapshot at several prefixes
+for frac in 4 2; do
+  cp "$ck" "$ck.orig"
+  dd if="$ck.orig" of="$ck" bs=1 count=$((size / frac)) 2>/dev/null
+  run "verify with snapshot cut to 1/$frac" 1 "$exe" store verify "$ck"
+  run "resume with snapshot cut to 1/$frac" 1 "$exe" resume "$ck"
+  mv "$ck.orig" "$ck"
+done
+
+# 5. stale temp file from a crashed writer: ignored (hint only)
+echo "garbage from a dead writer" > "$ck.tmp"
+run "verify with stale temp" "0 2" "$exe" store verify "$ck"
+run "resume with stale temp" 0 "$exe" resume "$ck"
+rm -f "$ck.tmp"
+
+# 6. missing / foreign stores
+run "verify of a missing store" 1 "$exe" store verify "$dir/nothing.snap"
+run "resume of a missing store" 1 "$exe" resume "$dir/nothing.snap"
+echo "this is not a snapshot" > "$dir/foreign.snap"
+run "verify of a foreign file" 1 "$exe" store verify "$dir/foreign.snap"
+run "resume of a foreign file" 1 "$exe" resume "$dir/foreign.snap"
+
+[ "$status" -eq 0 ] && echo "store_fuzz: all recoveries behaved"
+exit $status

@@ -270,6 +270,15 @@ let test_table_render_ragged_rejected () =
     (Invalid_argument "Table_fmt.render_rows: row 0 has 1 cells, want 2")
     (fun () -> ignore (Table_fmt.render_rows ~header:[ "a"; "b" ] [ [ "x" ] ]))
 
+(* The tests go through the Result API; the raising wrappers are
+   compat-only and covered by test_diag. *)
+let parse_csv_exn ~name text =
+  match Csv_io.relation_of_string_result ~name text with
+  | Ok r -> r
+  | Error (e :: _) ->
+    Alcotest.failf "CSV parse failed: %s" (Format.asprintf "%a" Csv_io.pp_error e)
+  | Error [] -> Alcotest.fail "CSV parse failed with no errors"
+
 let test_csv_roundtrip () =
   let schema = Rel_schema.of_names "m" [ "time"; "patient"; "value" ] in
   let r =
@@ -277,7 +286,7 @@ let test_csv_roundtrip () =
       [ tup [ v_sym "Sep/5-12:10"; v_sym "Tom Waits"; Value.real 38.2 ];
         tup [ v_sym "Sep/6-11:50"; v_sym "Tom, Waits"; Value.Null 4 ] ]
   in
-  let r' = Csv_io.relation_of_string ~name:"m" (Csv_io.relation_to_string r) in
+  let r' = parse_csv_exn ~name:"m" (Csv_io.relation_to_string r) in
   Alcotest.(check int) "cardinal" 2 (Relation.cardinal r');
   Alcotest.(check bool) "tuples preserved" true
     (Tuple.Set.equal (Relation.to_set r) (Relation.to_set r'))
@@ -299,19 +308,21 @@ let test_csv_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Csv_io.save_relation path r;
-      let r' = Csv_io.load_relation ~name:"m" path in
-      Alcotest.(check bool) "roundtrip through a file" true
-        (Tuple.Set.equal (Relation.to_set r) (Relation.to_set r')))
+      match Csv_io.load_relation_result ~name:"m" path with
+      | Error _ -> Alcotest.fail "clean CSV file rejected"
+      | Ok r' ->
+        Alcotest.(check bool) "roundtrip through a file" true
+          (Tuple.Set.equal (Relation.to_set r) (Relation.to_set r')))
 
 let test_csv_malformed () =
   Alcotest.(check bool) "ragged row rejected" true
-    (match Csv_io.relation_of_string ~name:"m" "a,b\nonly_one\n" with
-     | exception Failure _ -> true
-     | _ -> false);
+    (match Csv_io.relation_of_string_result ~name:"m" "a,b\nonly_one\n" with
+     | Error _ -> true
+     | Ok _ -> false);
   Alcotest.(check bool) "empty input rejected" true
-    (match Csv_io.relation_of_string ~name:"m" "" with
-     | exception Failure _ -> true
-     | _ -> false)
+    (match Csv_io.relation_of_string_result ~name:"m" "" with
+     | Error _ -> true
+     | Ok _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -368,10 +379,11 @@ let prop_csv_roundtrip =
       let r =
         Relation.of_tuples schema (List.map (fun (a, b) -> tup [ a; b ]) rows)
       in
-      let r' =
-        Csv_io.relation_of_string ~name:"p" (Csv_io.relation_to_string r)
-      in
-      Tuple.Set.equal (Relation.to_set r) (Relation.to_set r'))
+      match Csv_io.relation_of_string_result ~name:"p"
+              (Csv_io.relation_to_string r)
+      with
+      | Error _ -> false
+      | Ok r' -> Tuple.Set.equal (Relation.to_set r) (Relation.to_set r'))
 
 let prop_union_commutes =
   let mk rows =
