@@ -404,8 +404,8 @@ let report_c4 () =
   banner
     "C4 - Sec. IV claim: FO rewriting beats the chase on upward-only \
      ontologies";
-  Printf.printf "%8s %14s %14s %14s %10s\n" "patients" "rewrite(s)" "chase(s)"
-    "proof(s)" "agree";
+  Printf.printf "%8s %14s %14s %14s %10s %12s\n" "patients" "rewrite(s)"
+    "chase(s)" "proof(s)" "agree" "status";
   List.iter
     (fun n ->
       let g = Hospital.Gen.scale n in
@@ -422,22 +422,31 @@ let report_c4 () =
               [ v "U"; v "D"; c (Hospital.Gen.patient_name 1) ] ]
       in
       let rw = ref [] and ch = ref [] and pf = ref [] in
+      let status = ref "ok" in
       let t_rw =
         median_time (fun () ->
             rw := Guard.value (Md_ontology.rewrite_answers up q))
       in
+      (* a chase that degrades or fails is a row outcome, not an abort:
+         the remaining sizes still run and the table says what happened *)
       let t_ch =
         median_time (fun () ->
             match Md_ontology.certain_answers up q with
             | Query.Ok l -> ch := l
-            | _ -> failwith "chase failed")
+            | Query.Degraded { partial; _ } ->
+              ch := partial;
+              status := "degraded"
+            | Query.Inconsistent _ ->
+              ch := [];
+              status := "inconsistent")
       in
       let t_pf =
         median_time (fun () ->
             pf := (Md_ontology.proof_answers up q).Proof.answers)
       in
-      Printf.printf "%8d %14.5f %14.5f %14.5f %10b\n" n t_rw t_ch t_pf
-        (!rw = !ch && !ch = !pf))
+      Printf.printf "%8d %14.5f %14.5f %14.5f %10b %12s\n" n t_rw t_ch t_pf
+        (!rw = !ch && !ch = !pf)
+        !status)
     scaling_sizes;
   Printf.printf
     "\n(rewriting evaluates a UCQ on the extensional data only; the chase\n\
@@ -621,8 +630,9 @@ let report_store () =
       ("hospital-x80", fun () -> Hospital.Gen.ontology (Hospital.Gen.scale 80));
       ("telecom", fun () -> Mdqa_telecom.Telecom.ontology ()) ]
   in
-  Printf.printf "%-14s %12s %12s %10s %12s %12s %12s\n" "workload" "plain(s)"
-    "ckpt(s)" "overhead" "ckpt-bytes" "snap-bytes" "recover(s)";
+  Printf.printf "%-14s %12s %12s %10s %12s %12s %12s %12s\n" "workload"
+    "plain(s)" "ckpt(s)" "overhead" "ckpt-bytes" "snap-bytes" "recover(s)"
+    "status";
   let rows =
     List.map
       (fun (name, mk) ->
@@ -632,7 +642,10 @@ let report_store () =
               Chase.run (Md_ontology.program m) (Md_ontology.instance m))
         in
         let ckpt_bytes, snapshot_bytes, ckpt_t = checkpointed_chase m in
-        (* recovery cost: load + journal replay of a completed store *)
+        (* recovery cost: load + journal replay of a completed store.  A
+           store that fails to load is this row's outcome — the other
+           workloads still get measured. *)
+        let status = ref "ok" in
         let recover_t =
           let path = Filename.temp_file "mdqa_bench" ".snap" in
           Fun.protect
@@ -654,17 +667,19 @@ let report_store () =
               median_time (fun () ->
                   match Store.load ~path with
                   | Ok _ -> ()
-                  | Error _ -> failwith "bench store failed to load"))
+                  | Error _ -> status := "degraded:load-failed"))
         in
         let overhead = if plain_t > 0. then ckpt_t /. plain_t else 1. in
-        Printf.printf "%-14s %12.4f %12.4f %9.2fx %12d %12d %12.5f\n" name
-          plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t;
+        Printf.printf "%-14s %12.4f %12.4f %9.2fx %12d %12d %12.5f %12s\n"
+          name plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t
+          !status;
         Printf.sprintf
           "    {\"workload\": %S, \"chase_s\": %.6f, \
            \"chase_checkpointed_s\": %.6f, \"overhead_ratio\": %.4f, \
            \"checkpoint_bytes\": %d, \"snapshot_bytes\": %d, \
-           \"recover_s\": %.6f}"
-          name plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t)
+           \"recover_s\": %.6f, \"status\": %S}"
+          name plain_t ckpt_t overhead ckpt_bytes snapshot_bytes recover_t
+          !status)
       workloads
   in
   let json =
@@ -680,6 +695,96 @@ let report_store () =
     "\n(overhead = durable chase wall time / plain chase wall time;\n\
     \ recover = Store.load, i.e. snapshot read + journal replay)\n";
   Printf.printf "\nBENCH_store.json written\n"
+
+(* ------------------------------------------------------------------ *)
+(* Serve: request latency against a warm forked server, plus a drain
+   check.  The server child runs the real event loop over a Unix
+   socket; the parent is the real retrying client. *)
+
+let report_serve () =
+  banner "Serve - warm-service request latency and graceful drain";
+  let module Service = Mdqa_server.Service in
+  let module Server = Mdqa_server.Server in
+  let module Sclient = Mdqa_server.Client in
+  let module Sproto = Mdqa_server.Protocol in
+  let n_facts = 400 and n_requests = 200 in
+  let program_file = Filename.temp_file "mdqa_serve_bench" ".dl" in
+  let sock = Filename.temp_file "mdqa_serve_bench" ".sock" in
+  Sys.remove sock;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ program_file; sock ])
+  @@ fun () ->
+  let oc = open_out program_file in
+  for i = 1 to n_facts do
+    Printf.fprintf oc "edge(n%d, n%d).\n" i (i + 1)
+  done;
+  output_string oc "linked(X, Y) :- edge(X, Y).\n";
+  output_string oc "linked(X, Z) :- edge(X, Y), edge(Y, Z).\n";
+  close_out oc;
+  (* don't let the child flush an inherited copy of our stdout buffer *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* child: the server owns the terminal of its own fate *)
+    Stdlib.exit
+      (match Service.load ~program_file () with
+       | Error _ -> 1
+       | Ok svc ->
+         Server.run (Server.default_config (Server.Unix_path sock)) svc)
+  | pid ->
+    let client = Sclient.create ~addr:sock () in
+    (match Sclient.ping client with
+     | Error e -> Printf.printf "serve bench: server never came up: %s\n" e
+     | Ok _ ->
+       let request =
+         {|{"kind":"query","query":"q(X, Z) :- linked(X, Z)","engine":"chase"}|}
+       in
+       let lats = Array.make n_requests 0. in
+       let t0 = Unix.gettimeofday () in
+       let complete = ref 0 in
+       for i = 0 to n_requests - 1 do
+         let s = Unix.gettimeofday () in
+         (match Sclient.roundtrip client request with
+          | Ok r when r.Sproto.status = "complete" -> incr complete
+          | Ok _ | Error _ -> ());
+         lats.(i) <- Unix.gettimeofday () -. s
+       done;
+       let wall = Unix.gettimeofday () -. t0 in
+       Array.sort compare lats;
+       let pct p =
+         lats.(min (n_requests - 1)
+                 (int_of_float (ceil (p *. float_of_int n_requests /. 100.)) - 1))
+       in
+       let p50 = pct 50. and p95 = pct 95. and p99 = pct 99. in
+       let throughput = float_of_int n_requests /. wall in
+       Printf.printf
+         "%d requests: p50 %.5fs  p95 %.5fs  p99 %.5fs  %.0f req/s  \
+          (%d complete)\n"
+         n_requests p50 p95 p99 throughput !complete;
+       verify "every serve-bench request answered complete"
+         (!complete = n_requests);
+       let json =
+         Printf.sprintf
+           "{\n  \"experiment\": \"serve\",\n  \"description\": \"request \
+            latency against a warm mdqa serve over a Unix socket\",\n  \
+            \"requests\": %d,\n  \"p50_s\": %.6f,\n  \"p95_s\": %.6f,\n  \
+            \"p99_s\": %.6f,\n  \"throughput_rps\": %.1f,\n  \
+            \"client_retries\": %d\n}\n"
+           n_requests p50 p95 p99 throughput (Sclient.retries client)
+       in
+       let oc = open_out "BENCH_serve.json" in
+       output_string oc json;
+       close_out oc;
+       Printf.printf "\nBENCH_serve.json written\n");
+    Sclient.close client;
+    Unix.kill pid Sys.sigterm;
+    let _, wstatus = Unix.waitpid [] pid in
+    verify "serve drains to exit 0 on SIGTERM"
+      (wstatus = Unix.WEXITED 0)
 
 let scaling () =
   report_c3 ();
@@ -786,6 +891,7 @@ let () =
    | "report" -> reports ()
    | "scaling" -> scaling ()
    | "store" -> report_store ()
+   | "serve" -> report_serve ()
    | "micro" -> micro ()
    | "all" | _ ->
      reports ();

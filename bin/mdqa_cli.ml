@@ -38,6 +38,13 @@ open Cmdliner
 module Cterm = Cmdliner.Term
 open Mdqa_datalog
 module R = Mdqa_relational
+module Server = Mdqa_server.Server
+module Service = Mdqa_server.Service
+module Client = Mdqa_server.Client
+module Sproto = Mdqa_server.Protocol
+module Jsonl = Mdqa_server.Jsonl
+module Backoff = Mdqa_server.Backoff
+module Fdio = Mdqa_server.Fdio
 
 let exit_complete = 0
 let exit_error = 1
@@ -65,6 +72,11 @@ let run_protected f =
   | Invalid_argument e ->
     Format.eprintf "mdqa: invalid input: %s@." e;
     exit_error
+  | Unix.Unix_error (e, fn, arg) ->
+    Format.eprintf "mdqa: %s%s: %s@." fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e);
+    exit_error
 
 let report_error_diags diags =
   List.iter
@@ -81,6 +93,16 @@ let load path =
   | None ->
     report_error_diags diags;
     raise Fatal_diags
+
+(* A located, coded fatal error: the diagnostic prints like any other
+   (file:line code message) and the command exits 1 through
+   {!run_protected} — no bare [Failure] text without a code. *)
+let fatal ?file ?line ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      report_error_diags [ Diag.make ?file ?line Diag.Error ~code msg ];
+      raise Fatal_diags)
+    fmt
 
 let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -362,20 +384,104 @@ let goal_directed_arg =
           "With the chase engine: restrict the rules to those relevant \
            to the query before chasing.")
 
-let run_query file engine query_strings goal_directed max_steps max_nulls
-    timeout max_memory =
+(* Remote answering: ship each -q query to a running [mdqa serve] and
+   render its reply with the same shape (and exit codes) as local
+   evaluation.  Transient failures — the server restarting, overload
+   sheds — are retried with full-jitter backoff by {!Client}. *)
+
+let print_remote_answers name partial (r : Sproto.reply) =
+  match r.Sproto.answers with
+  | None -> Printf.printf "%s: (no answers)\n" name
+  | Some tuples ->
+    Printf.printf "%s:%s\n" name
+      (if tuples = [] then
+         if partial then " (no answers before budget ran out)"
+         else " (no certain answers)"
+       else if partial then " (partial)"
+       else "");
+    List.iter
+      (fun vs -> Printf.printf "  (%s)\n" (String.concat ", " vs))
+      tuples
+
+let run_remote_query ~addr ~engine ~attempts ~budget ~timeout ~max_steps
+    query_strings =
+  if query_strings = [] then fatal ~code:"E003" "no queries (use -q)";
+  let policy = Backoff.policy ~max_attempts:attempts ~budget () in
+  let client = Client.create ~policy ~addr () in
+  let engine_name =
+    match engine with
+    | `Chase -> "chase"
+    | `Proof -> "proof"
+    | `Rewrite -> "rewrite"
+  in
+  let failed = ref false and degraded = ref false in
+  List.iteri
+    (fun i q ->
+      let req =
+        Jsonl.Obj
+          ([ ("kind", Jsonl.Str "query");
+             ("id", Jsonl.Num (float_of_int i));
+             ("query", Jsonl.Str q);
+             ("engine", Jsonl.Str engine_name);
+             ("max_steps", Jsonl.Num (float_of_int max_steps)) ]
+          @
+          match timeout with
+          | Some t -> [ ("timeout", Jsonl.Num t) ]
+          | None -> [])
+      in
+      let name = Printf.sprintf "q%d" i in
+      match Client.roundtrip client (Jsonl.to_string req) with
+      | Error e ->
+        Format.eprintf "mdqa: %s: %s@." name e;
+        failed := true
+      | Ok r -> (
+        match r.Sproto.status with
+        | "complete" -> print_remote_answers name false r
+        | "degraded" ->
+          print_remote_answers name true r;
+          Format.eprintf "mdqa: degraded — %s@."
+            (Option.value r.Sproto.message
+               ~default:(Option.value ~default:"budget" r.Sproto.reason));
+          degraded := true
+        | _ ->
+          Format.eprintf "mdqa: %s: %s%s@." name
+            (match r.Sproto.code with Some c -> c ^ " " | None -> "")
+            (Option.value ~default:"error reply" r.Sproto.message);
+          failed := true))
+    query_strings;
+  Client.close client;
+  if Client.retries client > 0 then
+    Format.eprintf "mdqa: (%d transient failures retried)@."
+      (Client.retries client);
+  if !failed then exit_error
+  else if !degraded then exit_degraded
+  else exit_complete
+
+let run_query file remote retry_attempts retry_budget engine query_strings
+    goal_directed max_steps max_nulls timeout max_memory =
   run_protected @@ fun () ->
+  match remote with
+  | Some addr ->
+    run_remote_query ~addr ~engine ~attempts:retry_attempts
+      ~budget:retry_budget ~timeout ~max_steps query_strings
+  | None ->
+  let file =
+    match file with
+    | Some f -> f
+    | None -> fatal ~code:"E003" "query needs FILE (or --remote ADDR with -q)"
+  in
   let { Parser.program; queries } = load file in
   let extra =
     List.map
       (fun s ->
         try Parser.parse_query s
-        with Parser.Error { message; _ } ->
-          failwith (Printf.sprintf "query %S: %s" s message))
+        with Parser.Error { line; message; _ } ->
+          fatal ~file:"<query>" ~line ~code:"E002" "query %S: %s" s message)
       query_strings
   in
   let queries = queries @ extra in
-  if queries = [] then failwith "no queries (use -q or add ?q(..) :- ..)";
+  if queries = [] then
+    fatal ~file ~code:"E003" "no queries (use -q or add ?q(..) :- ..)";
   let inst = Program.instance_of_facts program in
   (* One guard governs the whole invocation: the deadline and memory
      watermark are global, so a query list can never outlive --timeout. *)
@@ -417,10 +523,43 @@ let run_query file engine query_strings goal_directed max_steps max_nulls
   else if !degraded then exit_degraded
   else exit_complete
 
+let query_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Datalog± program file (omit with $(b,--remote)).")
+
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"ADDR"
+        ~doc:
+          "Answer against a running $(b,mdqa serve) instead of evaluating \
+           locally: a Unix socket path or host:port.  Connection failures \
+           and overload sheds are retried with full-jitter exponential \
+           backoff.")
+
+let retry_attempts_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "retry-attempts" ] ~docv:"N"
+        ~doc:"With --remote: retries allowed per request (0 disables).")
+
+let retry_budget_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "retry-budget" ] ~docv:"SEC"
+        ~doc:
+          "With --remote: cumulative backoff sleep allowed per request \
+           across all its retries.")
+
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Answer conjunctive queries over a program.")
     Cterm.(
-      const run_query $ file_arg $ engine_arg $ query_arg $ goal_directed_arg
+      const run_query $ query_file_arg $ remote_arg $ retry_attempts_arg
+      $ retry_budget_arg $ engine_arg $ query_arg $ goal_directed_arg
       $ max_steps_arg $ max_nulls_arg $ timeout_arg $ max_memory_arg)
 
 (* --- classify -------------------------------------------------------- *)
@@ -567,17 +706,16 @@ let run_context file do_repair loads explain_n max_steps max_nulls timeout
         match R.Instance.find source rel with
         | Some existing ->
           if R.Relation.arity existing <> R.Relation.arity loaded then
-            failwith
-              (Printf.sprintf "%s: arity %d does not match declared %d" path
-                 (R.Relation.arity loaded) (R.Relation.arity existing));
+            fatal ~file:path ~code:"E011"
+              "arity %d of %s does not match declared %d"
+              (R.Relation.arity loaded) rel (R.Relation.arity existing);
           (* replace contents *)
           R.Relation.iter (fun t -> ignore (R.Relation.remove existing t))
             (R.Relation.copy existing);
           R.Relation.iter (fun t -> ignore (R.Relation.add existing t)) loaded
         | None ->
-          failwith
-            (Printf.sprintf "--load %s: no 'source %s(...)' declaration in %s"
-               rel rel file)))
+          fatal ~file ~code:"E013"
+            "--load %s: no 'source %s(...)' declaration" rel rel))
     loads;
   (* Static reports. *)
   (match Md_ontology.referential_violations ontology with
@@ -662,7 +800,7 @@ let run_context file do_repair loads explain_n max_steps max_nulls timeout
         print_newline ()
       end;
       finish a
-    | Error e -> failwith e
+    | Error e -> fatal ~file ~code:"E028" "repair failed: %s" e
   else
     finish (Context.assess ~provenance:(explain_n > 0) ~guard context ~source)
 
@@ -677,6 +815,331 @@ let context_cmd =
       const run_context $ file_arg $ repair_arg $ load_csv_arg $ explain_arg
       $ max_steps_arg $ max_nulls_arg $ timeout_arg $ max_memory_arg)
 
+(* --- serve: the long-running query service --------------------------- *)
+
+let serve_file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Datalog± program file to load and chase.  Optional when \
+           $(b,--store) names an existing snapshot to warm-start from.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix socket at $(docv) (removed on exit).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP $(docv) (see --host).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for --port.")
+
+let serve_store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"STORE"
+        ~doc:
+          "Crash-safe checkpoint store.  An existing snapshot warm-starts \
+           the service; the warm fixpoint is re-snapshotted periodically \
+           and on drain, through a circuit breaker that keeps the service \
+           answering from memory when the disk misbehaves.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission-queue capacity.  Requests beyond it are shed with an \
+           immediate degraded:overload reply instead of queuing without \
+           bound.")
+
+let serve_read_timeout_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "read-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Seconds a client gets to finish sending a request line (and \
+           the server to finish writing a reply) before the connection \
+           is dropped.")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Default per-request deadline; a request's own \"timeout\" \
+           field takes precedence.  On expiry the request degrades to \
+           the partial answer, the server keeps running.")
+
+let request_max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "request-max-steps" ] ~docv:"N"
+        ~doc:"Default per-request step budget (proof-engine search).")
+
+let max_request_bytes_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "max-request-bytes" ] ~docv:"N"
+        ~doc:"Longest accepted request line; beyond it the connection is \
+              answered E025 and closed.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Re-snapshot the warm fixpoint every $(docv) requests \
+              (0 disables periodic checkpoints).")
+
+let drain_grace_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "drain-grace" ] ~docv:"SEC"
+        ~doc:
+          "On SIGTERM/SIGINT: seconds to finish queued requests before \
+           the rest are answered degraded:drain and the server exits.")
+
+let run_serve file socket port host store max_queue read_timeout
+    request_timeout request_max_steps max_request_bytes checkpoint_every
+    drain_grace max_steps max_nulls max_checkpoint_bytes verbose =
+  run_protected @@ fun () ->
+  setup_logging verbose;
+  let addr =
+    match (socket, port) with
+    | Some _, Some _ ->
+      fatal ~code:"E024" "--socket and --port are mutually exclusive"
+    | Some path, None -> Server.Unix_path path
+    | None, Some p -> Server.Tcp (host, p)
+    | None, None -> fatal ~code:"E024" "serve needs --socket PATH or --port N"
+  in
+  let guard = Guard.create ~max_steps ~max_nulls ?max_checkpoint_bytes () in
+  match Service.load ~guard ?store ~checkpoint_every ?program_file:file () with
+  | Error diags ->
+    report_error_diags diags;
+    raise Fatal_diags
+  | Ok svc ->
+    let cfg =
+      { Server.addr;
+        max_queue;
+        max_clients = 128;
+        read_timeout;
+        write_timeout = read_timeout;
+        max_request_bytes;
+        request_timeout;
+        request_max_steps;
+        drain_grace }
+    in
+    Server.run cfg svc
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve quality queries from a warm chase fixpoint over a \
+          line-delimited JSON protocol (Unix socket or TCP).  Admission \
+          control sheds overload, each request runs under its own guard \
+          fork, \
+          a crashed request costs one error reply, checkpoint I/O sits \
+          behind a circuit breaker, and SIGTERM drains gracefully \
+          (exit 0, or 2 when anything was degraded on the way out).")
+    Cterm.(
+      const run_serve $ serve_file_arg $ socket_arg $ port_arg $ host_arg
+      $ serve_store_arg $ max_queue_arg $ serve_read_timeout_arg
+      $ request_timeout_arg $ request_max_steps_arg $ max_request_bytes_arg
+      $ checkpoint_every_arg $ drain_grace_arg $ max_steps_arg $ max_nulls_arg
+      $ max_checkpoint_bytes_arg $ verbose_arg)
+
+(* --- remote: raw line client (the chaos harness's scalpel) ----------- *)
+
+let connect_endpoint addr =
+  if String.contains addr '/' then (
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX addr);
+    fd)
+  else
+    match String.rindex_opt addr ':' with
+    | Some i when i > 0 && i < String.length addr - 1
+                  && int_of_string_opt
+                       (String.sub addr (i + 1) (String.length addr - i - 1))
+                     <> None ->
+      let host = String.sub addr 0 i in
+      let port =
+        int_of_string (String.sub addr (i + 1) (String.length addr - i - 1))
+      in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+    | _ ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX addr);
+      fd
+
+let read_reply_line fd buf =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      let rest = String.length s - i - 1 in
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) rest;
+      Some line
+    | None -> (
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> None
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> None)
+  in
+  go ()
+
+(* Burst mode: ship every stdin line in one write, then collect one
+   reply per request.  A synchronous client can never overflow the
+   server's admission queue; a burst can — which is exactly what the
+   chaos harness needs to observe load shedding. *)
+let run_remote_burst addr =
+  let requests = ref [] in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then requests := line :: !requests
+     done
+   with End_of_file -> ());
+  let requests = List.rev !requests in
+  let fd = connect_endpoint addr in
+  let buf = Buffer.create 256 in
+  let rc = ref exit_complete in
+  (match
+     Fdio.write_all fd (String.concat "\n" requests ^ "\n")
+   with
+   | Error e ->
+     Format.eprintf "mdqa: write: %s@." e;
+     rc := exit_error
+   | Ok () ->
+     List.iter
+       (fun _ ->
+         if !rc = exit_complete then
+           match read_reply_line fd buf with
+           | Some reply -> print_endline reply
+           | None ->
+             Format.eprintf "mdqa: connection closed by server@.";
+             rc := exit_error)
+       requests);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !rc
+
+let run_remote_raw addr slow use_retry burst =
+  run_protected @@ fun () ->
+  if burst then run_remote_burst addr
+  else if use_retry then (
+    let client = Client.create ~addr () in
+    let rc = ref exit_complete in
+    (try
+       while true do
+         let line = input_line stdin in
+         if String.trim line <> "" then
+           match Client.roundtrip client line with
+           | Ok r -> print_endline (Jsonl.to_string r.Sproto.json)
+           | Error e ->
+             Format.eprintf "mdqa: %s@." e;
+             rc := exit_error
+       done
+     with End_of_file -> ());
+    Client.close client;
+    !rc)
+  else (
+    let fd = connect_endpoint addr in
+    let buf = Buffer.create 256 in
+    let rc = ref exit_complete in
+    (try
+       while true do
+         let line = input_line stdin in
+         let data = line ^ "\n" in
+         (if slow > 0. then
+            String.iter
+              (fun ch ->
+                (match Fdio.write_all fd (String.make 1 ch) with
+                 | Ok () -> ()
+                 | Error e -> failwith ("write: " ^ e));
+                Fdio.sleepf slow)
+              data
+          else
+            match Fdio.write_all fd data with
+            | Ok () -> ()
+            | Error e -> failwith ("write: " ^ e));
+         match read_reply_line fd buf with
+         | Some reply -> print_endline reply
+         | None ->
+           Format.eprintf "mdqa: connection closed by server@.";
+           raise Exit
+       done
+     with
+    | End_of_file -> ()
+    | Exit -> rc := exit_error);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    !rc)
+
+let remote_addr_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR" ~doc:"Unix socket path or host:port of mdqa serve.")
+
+let slow_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "slow" ] ~docv:"SEC"
+        ~doc:
+          "Dribble each request one byte every $(docv) seconds \
+           (slow-loris injection for the chaos harness).")
+
+let raw_retry_arg =
+  Arg.(
+    value & flag
+    & info [ "retry" ]
+        ~doc:"Retry transient failures with full-jitter backoff instead \
+              of failing on the first.")
+
+let burst_arg =
+  Arg.(
+    value & flag
+    & info [ "burst" ]
+        ~doc:
+          "Send every stdin line in one write before reading any reply \
+           (overload injection), instead of one request-reply at a time.")
+
+let remote_cmd =
+  Cmd.v
+    (Cmd.info "remote"
+       ~doc:
+         "Raw protocol client: read request lines from stdin, send them to \
+          a running $(b,mdqa serve), print one reply line each to stdout.  \
+          Exit 1 if the server drops the connection.")
+    Cterm.(
+      const run_remote_raw $ remote_addr_arg $ slow_arg $ raw_retry_arg
+      $ burst_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "mdqa" ~version:"1.0.0"
@@ -684,6 +1147,6 @@ let main_cmd =
          "Multidimensional ontological contexts for data quality \
           assessment — Datalog± engine CLI.")
     [ chase_cmd; resume_cmd; store_cmd; query_cmd; classify_cmd; check_cmd;
-      consistency_cmd; context_cmd ]
+      consistency_cmd; context_cmd; serve_cmd; remote_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -27,6 +27,11 @@ let registry =
     ("E021", "dangling-wiring");
     ("E022", "csv-error");
     ("E023", "store-corrupt");
+    ("E024", "invalid-request");
+    ("E025", "oversized-request");
+    ("E026", "request-timeout");
+    ("E027", "request-crashed");
+    ("E028", "repair-failed");
     ("W040", "undefined-predicate");
     ("W041", "not-weakly-sticky");
     ("W042", "quality-version-undefined");
@@ -34,9 +39,12 @@ let registry =
     ("W044", "non-homogeneous-hierarchy");
     ("W045", "referential-violation");
     ("W046", "store-truncated");
+    ("W047", "overload-shed");
+    ("W048", "breaker-open");
     ("H050", "qa-path");
     ("H051", "unused-map-target");
-    ("H052", "stale-checkpoint-temp") ]
+    ("H052", "stale-checkpoint-temp");
+    ("H053", "server-drain") ]
 
 let describe code = List.assoc_opt code registry
 let codes = registry

@@ -23,12 +23,15 @@
       duplicate-member, [E017] invalid-link, [E018] invalid-relation;
     - [E019] invalid-rule, [E020] non-dimensional-constraint, [E021]
       dangling-wiring, [E022] csv-error, [E023] store-corrupt;
+    - [E024] invalid-request, [E025] oversized-request, [E026]
+      request-timeout, [E027] request-crashed, [E028] repair-failed
+      (the server front door and repair pipeline);
     - [W040] undefined-predicate, [W041] not-weakly-sticky, [W042]
       quality-version-undefined, [W043] non-strict-hierarchy, [W044]
       non-homogeneous-hierarchy, [W045] referential-violation, [W046]
-      store-truncated;
+      store-truncated, [W047] overload-shed, [W048] breaker-open;
     - [H050] qa-path, [H051] unused-map-target, [H052]
-      stale-checkpoint-temp. *)
+      stale-checkpoint-temp, [H053] server-drain. *)
 
 type severity = Error | Warning | Hint
 

@@ -108,6 +108,55 @@ let create ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
 
 let unlimited () = create ()
 
+(* Child budgets are capped by what remains of the parent's: a forked
+   request can never spend more than the enclosing service has left. *)
+let fork ?max_steps ?max_nulls ?max_rows ?max_cqs ?max_repair_branches
+    ?max_checkpoint_bytes ?timeout g =
+  let rem limit used requested =
+    let remaining = Option.map (fun l -> max 0 (l - used)) limit in
+    match (remaining, requested) with
+    | None, r -> r
+    | (Some _ as r), None -> r
+    | Some r, Some q -> Some (min r q)
+  in
+  let started = g.clock () in
+  let deadline =
+    let requested = Option.map (fun s -> started +. s) timeout in
+    match (g.deadline, requested) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  { g with
+    max_steps = rem g.max_steps g.steps max_steps;
+    max_nulls = rem g.max_nulls g.nulls max_nulls;
+    max_rows = rem g.max_rows g.rows max_rows;
+    max_cqs = rem g.max_cqs g.cqs max_cqs;
+    max_repair_branches =
+      rem g.max_repair_branches g.repair_branches max_repair_branches;
+    max_checkpoint_bytes =
+      rem g.max_checkpoint_bytes g.checkpoint_bytes max_checkpoint_bytes;
+    deadline;
+    timeout = Option.map (fun d -> d -. started) deadline;
+    started;
+    steps = 0;
+    nulls = 0;
+    rows = 0;
+    cqs = 0;
+    repair_branches = 0;
+    checkpoint_bytes = 0;
+    ticks = 0;
+    heap_mb = 0.;
+    tripped = None }
+
+let absorb parent child =
+  parent.steps <- parent.steps + child.steps;
+  parent.nulls <- parent.nulls + child.nulls;
+  parent.rows <- parent.rows + child.rows;
+  parent.cqs <- parent.cqs + child.cqs;
+  parent.repair_branches <- parent.repair_branches + child.repair_branches;
+  parent.checkpoint_bytes <- parent.checkpoint_bytes + child.checkpoint_bytes;
+  if child.heap_mb > parent.heap_mb then parent.heap_mb <- child.heap_mb
+
 let cancel g = g.cancelled <- true
 let is_cancelled g = g.cancelled
 

@@ -94,6 +94,33 @@ val unlimited : unit -> t
 (** A guard with no limits — still tracks consumption and supports
     cancellation. *)
 
+val fork :
+  ?max_steps:int ->
+  ?max_nulls:int ->
+  ?max_rows:int ->
+  ?max_cqs:int ->
+  ?max_repair_branches:int ->
+  ?max_checkpoint_bytes:int ->
+  ?timeout:float ->
+  t ->
+  t
+(** [fork parent] is a child guard for one unit of work inside a
+    long-running service: each child budget is the requested value
+    capped by what {e remains} of the parent's corresponding budget
+    (so a request can never spend more than the server has left), and
+    the child's deadline is the earlier of [timeout] seconds from now
+    and the parent's own deadline.  The clock, heap sampler, memory
+    watermark and [check_every] are inherited; consumption counters
+    start at zero.  Fold the child's spending back into the parent
+    with {!absorb} when the work finishes. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] adds the child's counted consumption
+    (steps, nulls, rows, cqs, repair branches, checkpoint bytes) into
+    the parent's counters.  Never raises — a service charging request
+    work back must not be torn down mid-reply; if a parent budget is
+    now exceeded, the parent's next [count_*] call trips it. *)
+
 val cancel : t -> unit
 (** Request cooperative cancellation: the next check trips the guard
     with resource {!Cancelled}. *)

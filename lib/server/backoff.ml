@@ -1,0 +1,48 @@
+type policy = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+  budget : float;
+}
+
+let default_policy =
+  { base = 0.05; cap = 2.0; max_attempts = 6; budget = 10.0 }
+
+let policy ?(base = default_policy.base) ?(cap = default_policy.cap)
+    ?(max_attempts = default_policy.max_attempts)
+    ?(budget = default_policy.budget) () =
+  if base <= 0. then invalid_arg "Backoff.policy: base <= 0";
+  if cap < base then invalid_arg "Backoff.policy: cap < base";
+  if max_attempts < 0 then invalid_arg "Backoff.policy: max_attempts < 0";
+  if budget < 0. then invalid_arg "Backoff.policy: budget < 0";
+  { base; cap; max_attempts; budget }
+
+(* base * 2^attempt without float overflow: once the exponential passes
+   the cap it stays there, so large attempt counts short-circuit. *)
+let ceiling p ~attempt =
+  let attempt = max 0 attempt in
+  if attempt >= 60 then p.cap
+  else Float.min p.cap (p.base *. Float.of_int (1 lsl attempt))
+
+let delay p ~rand ~attempt =
+  let bound = ceiling p ~attempt in
+  Float.max 0. (Float.min bound (rand bound))
+
+type t = { policy : policy; mutable attempts : int; mutable slept : float }
+
+let start policy = { policy; attempts = 0; slept = 0. }
+
+let attempts t = t.attempts
+let slept t = t.slept
+
+let next t ~rand =
+  if t.attempts >= t.policy.max_attempts then None
+  else begin
+    let d = delay t.policy ~rand ~attempt:t.attempts in
+    if t.slept +. d > t.policy.budget then None
+    else begin
+      t.attempts <- t.attempts + 1;
+      t.slept <- t.slept +. d;
+      Some d
+    end
+  end

@@ -1,0 +1,58 @@
+(** Exponential backoff with full jitter and a retry budget.
+
+    The client side of a resilient service retries transient failures
+    (connection refused during a restart, [degraded:overload] sheds)
+    without stampeding the server: the delay before attempt [n] is
+    drawn uniformly from [\[0, min (cap, base * 2^n)\]] ("full
+    jitter", the strategy with the lowest collision rate in the AWS
+    architecture-blog analysis), and two budgets bound the total
+    effort — a maximum attempt count and a maximum cumulative sleep.
+
+    The randomness source is injected so tests are deterministic. *)
+
+type policy = {
+  base : float;  (** first-retry ceiling, seconds; > 0 *)
+  cap : float;  (** upper bound every delay is clamped to; >= base *)
+  max_attempts : int;  (** retries allowed (0 = never retry) *)
+  budget : float;  (** cumulative sleep allowed across all retries *)
+}
+
+val default_policy : policy
+(** base 50 ms, cap 2 s, 6 attempts, 10 s total sleep. *)
+
+val policy :
+  ?base:float -> ?cap:float -> ?max_attempts:int -> ?budget:float -> unit ->
+  policy
+(** {!default_policy} with overrides.
+    @raise Invalid_argument on a non-positive [base], a [cap] below
+    [base], a negative [max_attempts] or a negative [budget]. *)
+
+val ceiling : policy -> attempt:int -> float
+(** [ceiling p ~attempt] is the un-jittered delay bound
+    [min (cap, base * 2^attempt)] for the 0-based [attempt].  Monotone
+    non-decreasing in [attempt]; equal to [cap] for every attempt past
+    the point the exponential crosses it. *)
+
+val delay : policy -> rand:(float -> float) -> attempt:int -> float
+(** One jittered delay: [rand (ceiling p ~attempt)].  [rand b] must
+    return a value in [\[0, b\]] ([Random.float] does); the result is
+    clamped to that interval regardless, so a misbehaving [rand]
+    cannot produce a negative or over-cap sleep. *)
+
+(** {1 Stateful retry loop} *)
+
+type t
+
+val start : policy -> t
+
+val attempts : t -> int
+(** Retries taken so far. *)
+
+val slept : t -> float
+(** Cumulative sleep charged so far, seconds. *)
+
+val next : t -> rand:(float -> float) -> float option
+(** The next sleep to take, or [None] when the policy is out of
+    retries — either [max_attempts] is spent or the delay would push
+    the cumulative sleep past [budget].  The returned delay is already
+    charged against the budget. *)

@@ -1,0 +1,135 @@
+type endpoint = Unix_path of string | Tcp of string * int
+
+type t = {
+  addr : endpoint;
+  policy : Backoff.policy;
+  rand : float -> float;
+  mutable fd : Unix.file_descr option;
+  ibuf : Buffer.t;
+  mutable retries : int;
+}
+
+let parse_addr s =
+  if String.contains s '/' then Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port -> Tcp (String.sub s 0 i, port)
+      | None -> Unix_path s)
+    | _ -> Unix_path s
+
+let create ?(policy = Backoff.default_policy) ?(rand = Random.float) ~addr () =
+  Fdio.ignore_sigpipe ();
+  { addr = parse_addr addr;
+    policy;
+    rand;
+    fd = None;
+    ibuf = Buffer.create 256;
+    retries = 0 }
+
+let disconnect t =
+  (match t.fd with
+   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  t.fd <- None;
+  Buffer.clear t.ibuf
+
+let close = disconnect
+let retries t = t.retries
+
+let connect_fd = function
+  | Unix_path path -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Ok fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printexc.to_string e))
+  | Tcp (host, port) -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      Ok fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printexc.to_string e))
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+    match connect_fd t.addr with
+    | Ok fd ->
+      t.fd <- Some fd;
+      Ok fd
+    | Error _ as e -> e)
+
+let read_reply t fd =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let s = Buffer.contents t.ibuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      let rest = String.length s - i - 1 in
+      Buffer.clear t.ibuf;
+      Buffer.add_substring t.ibuf s (i + 1) rest;
+      Ok line
+    | None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        Buffer.add_subbytes t.ibuf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  go ()
+
+let roundtrip t line =
+  let bo = Backoff.start t.policy in
+  let rec attempt () =
+    let outcome =
+      match ensure_connected t with
+      | Error e -> `Transient e
+      | Ok fd -> (
+        match Fdio.write_all fd (line ^ "\n") with
+        | Error e ->
+          disconnect t;
+          `Transient e
+        | Ok () -> (
+          match read_reply t fd with
+          | Error e ->
+            disconnect t;
+            `Transient e
+          | Ok reply_line -> (
+            match Protocol.parse_reply reply_line with
+            | Error e -> `Permanent (Error e)
+            | Ok r
+              when r.Protocol.status = "degraded"
+                   && r.Protocol.reason = Some "overload" ->
+              `Transient "server overloaded"
+            | Ok r -> `Permanent (Ok r))))
+    in
+    match outcome with
+    | `Permanent r -> r
+    | `Transient why -> (
+      match Backoff.next bo ~rand:t.rand with
+      | Some d ->
+        t.retries <- t.retries + 1;
+        Fdio.sleepf d;
+        attempt ()
+      | None ->
+        Error
+          (Printf.sprintf "retry budget exhausted after %d attempts (last: %s)"
+             (Backoff.attempts bo) why))
+  in
+  attempt ()
+
+let ping t = roundtrip t {|{"kind":"ping"}|}

@@ -1,0 +1,38 @@
+(** Retrying client for the [mdqa serve] protocol.
+
+    Transient failures — the server restarting (connection refused, a
+    vanished socket file), a torn connection, a [degraded:overload]
+    shed — are retried under a {!Backoff} policy: exponential backoff
+    with full jitter, bounded by both an attempt count and a
+    cumulative-sleep budget.  Everything else (an error reply, garbage
+    on the wire, budget exhausted) comes back as a value.  Never
+    raises on I/O. *)
+
+type t
+
+val create :
+  ?policy:Backoff.policy ->
+  ?rand:(float -> float) ->
+  addr:string ->
+  unit ->
+  t
+(** [addr] is a Unix socket path, or [host:port] when the suffix after
+    the last [:] parses as a port and the string contains no [/].
+    No connection is made until the first {!roundtrip}. *)
+
+val roundtrip : t -> string -> (Protocol.reply, string) result
+(** Send one request line (newline appended) and read one reply line,
+    (re)connecting and retrying transient failures under the policy.
+    [Ok] is any parsed reply that is not an overload shed — including
+    [status = "error"] replies, which are the server speaking, not a
+    transport failure.  [Error] means the retry budget ran out or the
+    server answered with something unparseable. *)
+
+val ping : t -> (Protocol.reply, string) result
+(** [roundtrip {"kind":"ping"}] — readiness probing. *)
+
+val retries : t -> int
+(** Total retries taken over the life of this client. *)
+
+val close : t -> unit
+(** Drop the connection (idempotent); the next roundtrip reconnects. *)

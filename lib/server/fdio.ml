@@ -1,0 +1,66 @@
+let ignore_sigpipe () =
+  (* Windows has no SIGPIPE; everything this library targets does. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let set_nonblock fd = Unix.set_nonblock fd
+
+let sleepf duration =
+  let until = Unix.gettimeofday () +. duration in
+  let rec go () =
+    let remaining = until -. Unix.gettimeofday () in
+    if remaining > 0. then
+      match Unix.sleepf remaining with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Wait until [fd] is writable or the deadline passes. *)
+let wait_writable fd deadline =
+  let rec go () =
+    let timeout =
+      match deadline with
+      | None -> 1.0
+      | Some d ->
+        let remaining = d -. Unix.gettimeofday () in
+        if remaining <= 0. then -1.0 else remaining
+    in
+    if timeout < 0. then `Timeout
+    else
+      match Unix.select [] [ fd ] [] timeout with
+      | _, _ :: _, _ -> `Writable
+      | _ -> go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all ?deadline fd s =
+  let n = String.length s in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> (
+        match wait_writable fd deadline with
+        | `Writable -> go off
+        | `Timeout -> Error "write timed out")
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let read_available fd ~max =
+  let buf = Bytes.create max in
+  let rec go () =
+    match Unix.read fd buf 0 max with
+    | 0 -> `Eof
+    | n -> `Data (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Nothing
+    | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
+  in
+  go ()

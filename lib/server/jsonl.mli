@@ -1,0 +1,36 @@
+(** Minimal JSON values for the line-delimited server protocol.
+
+    The wire format of [mdqa serve] is one JSON object per line
+    (JSONL); this module is the whole codec — no external dependency,
+    total parsing (malformed input is an [Error], never an exception),
+    and printing that never emits a newline (so one value always stays
+    one frame). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value.  Trailing non-whitespace, unterminated
+    strings, bad escapes, deep nesting (beyond 512 levels) and every
+    other malformation come back as [Error msg]. *)
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines, strings escaped). *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val str_field : string -> t -> string option
+val num_field : string -> t -> float option

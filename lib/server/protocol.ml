@@ -1,0 +1,170 @@
+module Diag = Mdqa_datalog.Diag
+module Guard = Mdqa_datalog.Guard
+module Value = Mdqa_relational.Value
+module Tuple = Mdqa_relational.Tuple
+
+type engine = Chase | Proof | Rewrite
+
+type request =
+  | Query of {
+      id : Jsonl.t option;
+      query : string;
+      engine : engine;
+      timeout : float option;
+      max_steps : int option;
+    }
+  | Health of { id : Jsonl.t option }
+  | Ready of { id : Jsonl.t option }
+  | Ping of { id : Jsonl.t option }
+
+let request_id = function
+  | Query { id; _ } | Health { id } | Ready { id } | Ping { id } -> id
+
+let bad message = Error (Diag.make Diag.Error ~code:"E024" message)
+
+let parse_request line =
+  match Jsonl.parse line with
+  | Error msg -> bad (Printf.sprintf "request is not valid JSON: %s" msg)
+  | Ok (Jsonl.Obj _ as obj) -> (
+    let id = Jsonl.member "id" obj in
+    match Jsonl.str_field "kind" obj with
+    | None -> bad "request object has no string \"kind\" field"
+    | Some "health" -> Ok (Health { id })
+    | Some "ready" -> Ok (Ready { id })
+    | Some "ping" -> Ok (Ping { id })
+    | Some "query" -> (
+      match Jsonl.str_field "query" obj with
+      | None -> bad "query request has no string \"query\" field"
+      | Some query -> (
+        let engine =
+          match Jsonl.str_field "engine" obj with
+          | None | Some "chase" -> Ok Chase
+          | Some "proof" -> Ok Proof
+          | Some "rewrite" -> Ok Rewrite
+          | Some other ->
+            bad
+              (Printf.sprintf
+                 "unknown engine %S (want chase, proof or rewrite)" other)
+        in
+        match engine with
+        | Error _ as e -> e
+        | Ok engine ->
+          let timeout = Jsonl.num_field "timeout" obj in
+          let max_steps =
+            Option.map int_of_float (Jsonl.num_field "max_steps" obj)
+          in
+          if Option.fold ~none:false ~some:(fun t -> t <= 0.) timeout then
+            bad "timeout must be positive"
+          else if Option.fold ~none:false ~some:(fun n -> n < 1) max_steps
+          then bad "max_steps must be at least 1"
+          else Ok (Query { id; query; engine; timeout; max_steps })))
+    | Some other -> bad (Printf.sprintf "unknown request kind %S" other))
+  | Ok _ -> bad "request must be a JSON object"
+
+(* --- replies --------------------------------------------------------- *)
+
+let json_of_value = function
+  | Value.Sym s -> Jsonl.Str s
+  | Value.Int i -> Jsonl.Num (float_of_int i)
+  | Value.Real r -> Jsonl.Num r
+  | Value.Null k -> Jsonl.Obj [ ("null", Jsonl.Num (float_of_int k)) ]
+
+let json_of_tuple t = Jsonl.List (List.map json_of_value (Tuple.to_list t))
+
+let base ?id ~status fields =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  Jsonl.to_string
+    (Jsonl.Obj ((id_field @ [ ("status", Jsonl.Str status) ]) @ fields))
+  ^ "\n"
+
+let answers_field = function
+  | None -> []
+  | Some tuples -> [ ("answers", Jsonl.List (List.map json_of_tuple tuples)) ]
+
+let code_fields = function
+  | None -> []
+  | Some code -> (
+    ("code", Jsonl.Str code)
+    ::
+    (match Diag.describe code with
+     | Some m -> [ ("mnemonic", Jsonl.Str m) ]
+     | None -> []))
+
+let complete_reply ?id ?(extra = []) ~answers () =
+  base ?id ~status:"complete" (answers_field answers @ extra)
+
+let degraded_reply ?id ?code ~reason ~answers ~message () =
+  base ?id ~status:"degraded"
+    ([ ("degraded", Jsonl.Str reason) ]
+    @ code_fields code
+    @ answers_field answers
+    @ [ ("message", Jsonl.Str message) ])
+
+let error_reply ?id (d : Diag.t) =
+  base ?id ~status:"error"
+    (code_fields (Some d.Diag.code) @ [ ("message", Jsonl.Str d.Diag.message) ])
+
+let obj_reply ?id ~status fields = base ?id ~status fields
+
+let exhaustion_reason (e : Guard.exhaustion) =
+  match e.Guard.resource with
+  | Guard.Steps -> "steps"
+  | Guard.Nulls -> "nulls"
+  | Guard.Rows -> "rows"
+  | Guard.Cqs -> "cqs"
+  | Guard.Repair_branches -> "repair-branches"
+  | Guard.Checkpoint_bytes -> "checkpoint-bytes"
+  | Guard.Deadline -> "deadline"
+  | Guard.Memory -> "memory"
+  | Guard.Cancelled -> "cancelled"
+
+(* --- client-side reading --------------------------------------------- *)
+
+type reply = {
+  id : Jsonl.t option;
+  status : string;
+  code : string option;
+  reason : string option;
+  message : string option;
+  answers : string list list option;
+  json : Jsonl.t;
+}
+
+let value_of_json = function
+  | Jsonl.Str s -> s
+  | Jsonl.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      string_of_int (int_of_float f)
+    else string_of_float f
+  | Jsonl.Obj [ ("null", Jsonl.Num k) ] ->
+    Printf.sprintf "_:%d" (int_of_float k)
+  | v -> Jsonl.to_string v
+
+let parse_reply line =
+  match Jsonl.parse line with
+  | Error msg -> Error (Printf.sprintf "reply is not valid JSON: %s" msg)
+  | Ok (Jsonl.Obj _ as obj) -> (
+    match Jsonl.str_field "status" obj with
+    | None -> Error "reply has no \"status\" field"
+    | Some status ->
+      let answers =
+        match Jsonl.member "answers" obj with
+        | Some (Jsonl.List tuples) ->
+          Some
+            (List.map
+               (fun t ->
+                 match t with
+                 | Jsonl.List vs -> List.map value_of_json vs
+                 | v -> [ value_of_json v ])
+               tuples)
+        | _ -> None
+      in
+      Ok
+        { id = Jsonl.member "id" obj;
+          status;
+          code = Jsonl.str_field "code" obj;
+          reason = Jsonl.str_field "degraded" obj;
+          message = Jsonl.str_field "message" obj;
+          answers;
+          json = obj })
+  | Ok _ -> Error "reply must be a JSON object"

@@ -1,0 +1,412 @@
+module Diag = Mdqa_datalog.Diag
+module Guard = Mdqa_datalog.Guard
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  max_queue : int;
+  max_clients : int;
+  read_timeout : float;
+  write_timeout : float;
+  max_request_bytes : int;
+  request_timeout : float option;
+  request_max_steps : int option;
+  drain_grace : float;
+}
+
+let default_config addr =
+  { addr;
+    max_queue = 64;
+    max_clients = 128;
+    read_timeout = 10.;
+    write_timeout = 10.;
+    max_request_bytes = 1 lsl 20;
+    request_timeout = None;
+    request_max_steps = None;
+    drain_grace = 5. }
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  buf : Buffer.t;
+  mutable line_started : float option;
+      (** when the oldest unfinished request line began arriving *)
+  mutable alive : bool;
+}
+
+type state = {
+  cfg : config;
+  svc : Service.t;
+  mutable conns : conn list;
+  queue : (conn * Protocol.request) Admission.t;
+  mutable draining : bool;
+  mutable drain_deadline : float;
+  mutable degraded_events : int;
+      (** requests degraded for server reasons (drain), not budget *)
+  mutable crashed : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let addr_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let close_conn c =
+  if c.alive then (
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let send st c line =
+  if c.alive then
+    match
+      Fdio.write_all ~deadline:(now () +. st.cfg.write_timeout) c.fd line
+    with
+    | Ok () -> ()
+    | Error _ -> close_conn c
+
+(* --- socket setup ----------------------------------------------------- *)
+
+let listen_socket = function
+  | Unix_path path ->
+    if Sys.file_exists path then (
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Fdio.set_nonblock fd;
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let inet =
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    Fdio.set_nonblock fd;
+    fd
+
+let remove_unix_path = function
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+(* --- request answering ------------------------------------------------ *)
+
+let server_fields st =
+  [ ("queue",
+     Jsonl.Obj
+       [ ("depth", Jsonl.Num (float_of_int (Admission.length st.queue)));
+         ("capacity", Jsonl.Num (float_of_int (Admission.capacity st.queue)));
+         ("shed", Jsonl.Num (float_of_int (Admission.shed st.queue)));
+         ("accepted",
+          Jsonl.Num (float_of_int (Admission.accepted st.queue))) ]);
+    ("connections",
+     Jsonl.Num (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns))));
+    ("crashed_requests", Jsonl.Num (float_of_int st.crashed));
+    ("draining", Jsonl.Bool st.draining) ]
+
+let answer st conn req =
+  let id = Protocol.request_id req in
+  let reply =
+    match req with
+    | Protocol.Ping _ -> Protocol.complete_reply ?id ~answers:None ()
+    | Protocol.Health _ ->
+      Protocol.obj_reply ?id ~status:"complete"
+        (Service.health_fields st.svc
+        @ [ ("server", Jsonl.Obj (server_fields st)) ])
+    | Protocol.Ready _ ->
+      let ok, reason = Service.ready st.svc in
+      Protocol.obj_reply ?id ~status:"complete"
+        [ ("ready", Jsonl.Bool ok); ("reason", Jsonl.Str reason) ]
+    | Protocol.Query { query; engine; timeout; max_steps; _ } -> (
+      let timeout =
+        match timeout with Some _ -> timeout | None -> st.cfg.request_timeout
+      in
+      let max_steps =
+        match max_steps with
+        | Some _ -> max_steps
+        | None -> st.cfg.request_max_steps
+      in
+      match Service.query st.svc ?timeout ?max_steps ~engine query with
+      | Service.Answers a -> Protocol.complete_reply ?id ~answers:(Some a) ()
+      | Service.Partial (a, e) ->
+        Protocol.degraded_reply ?id
+          ~reason:(Protocol.exhaustion_reason e)
+          ~answers:(Some a)
+          ~message:(Format.asprintf "%a" Guard.pp_exhaustion e)
+          ()
+      | Service.Bad_query d -> Protocol.error_reply ?id d
+      | Service.Inconsistent msg ->
+        Protocol.obj_reply ?id ~status:"error"
+          [ ("inconsistent", Jsonl.Bool true); ("message", Jsonl.Str msg) ])
+  in
+  let reply =
+    match reply with
+    | r -> r
+    | exception e ->
+      (* crash isolation: one poisoned request costs one error reply *)
+      st.crashed <- st.crashed + 1;
+      Printf.eprintf "mdqa serve: request crashed: %s\n%!"
+        (Printexc.to_string e);
+      Protocol.error_reply ?id
+        (Diag.make Diag.Error ~code:"E027"
+           (Printf.sprintf "request crashed: %s" (Printexc.to_string e)))
+  in
+  send st conn reply;
+  Service.request_served st.svc
+
+(* answer never lets an exception out: the reply computation is wrapped
+   above, and [send] reports socket failures by closing the conn. *)
+let answer st conn req =
+  try answer st conn req
+  with e ->
+    st.crashed <- st.crashed + 1;
+    Printf.eprintf "mdqa serve: request handling crashed: %s\n%!"
+      (Printexc.to_string e)
+
+(* --- admission -------------------------------------------------------- *)
+
+let handle_line st conn line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.parse_request line with
+    | Error d ->
+      (* malformed request: answer and keep the connection; the peer
+         may have well-formed requests behind it *)
+      send st conn (Protocol.error_reply d)
+    | Ok req ->
+      if st.draining then (
+        st.degraded_events <- st.degraded_events + 1;
+        send st conn
+          (Protocol.degraded_reply
+             ?id:(Protocol.request_id req)
+             ~code:"H053" ~reason:"drain" ~answers:None
+             ~message:"server is draining; retry against a fresh instance"
+             ()))
+      else if not (Admission.offer st.queue (conn, req)) then
+        send st conn
+          (Protocol.degraded_reply
+             ?id:(Protocol.request_id req)
+             ~code:"W047" ~reason:"overload" ~answers:None
+             ~message:
+               (Printf.sprintf
+                  "admission queue full (%d); request shed, retry with backoff"
+                  (Admission.capacity st.queue))
+             ())
+
+let rec drain_lines st conn =
+  let s = Buffer.contents conn.buf in
+  match String.index_opt s '\n' with
+  | None ->
+    if String.length s > st.cfg.max_request_bytes then (
+      send st conn
+        (Protocol.error_reply
+           (Diag.make Diag.Error ~code:"E025"
+              (Printf.sprintf "request exceeds %d bytes"
+                 st.cfg.max_request_bytes)));
+      close_conn conn)
+    else if s = "" then conn.line_started <- None
+    else if conn.line_started = None then conn.line_started <- Some (now ())
+  | Some i ->
+    let line = String.sub s 0 i in
+    let rest_len = String.length s - i - 1 in
+    Buffer.clear conn.buf;
+    Buffer.add_substring conn.buf s (i + 1) rest_len;
+    conn.line_started <- (if rest_len > 0 then Some (now ()) else None);
+    if String.length line > st.cfg.max_request_bytes then (
+      send st conn
+        (Protocol.error_reply
+           (Diag.make Diag.Error ~code:"E025"
+              (Printf.sprintf "request exceeds %d bytes"
+                 st.cfg.max_request_bytes)));
+      close_conn conn)
+    else (
+      handle_line st conn line;
+      if conn.alive then drain_lines st conn)
+
+let feed st conn =
+  match Fdio.read_available conn.fd ~max:65536 with
+  | `Nothing -> ()
+  | `Eof | `Error _ -> close_conn conn
+  | `Data chunk ->
+    if conn.line_started = None then conn.line_started <- Some (now ());
+    Buffer.add_string conn.buf chunk;
+    drain_lines st conn
+
+let check_slow_loris st =
+  let t = now () in
+  List.iter
+    (fun c ->
+      match c.line_started with
+      | Some t0 when c.alive && t -. t0 > st.cfg.read_timeout ->
+        send st c
+          (Protocol.error_reply
+             (Diag.make Diag.Error ~code:"E026"
+                (Printf.sprintf
+                   "request line not completed within %.1fs"
+                   st.cfg.read_timeout)));
+        close_conn c
+      | _ -> ())
+    st.conns
+
+let rec accept_loop st lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error _ -> ()
+  | fd, sa ->
+    Fdio.set_nonblock fd;
+    let peer =
+      match sa with
+      | Unix.ADDR_UNIX _ -> "local"
+      | Unix.ADDR_INET (a, p) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+    in
+    let c =
+      { fd; peer; buf = Buffer.create 256; line_started = None; alive = true }
+    in
+    ignore c.peer;
+    if
+      List.length (List.filter (fun c -> c.alive) st.conns)
+      >= st.cfg.max_clients
+    then (
+      (* connection-level shedding: refuse politely, don't hang *)
+      send st c
+        (Protocol.degraded_reply ~code:"W047" ~reason:"overload" ~answers:None
+           ~message:"too many connections; retry with backoff" ());
+      close_conn c)
+    else st.conns <- c :: st.conns;
+    accept_loop st lfd
+
+let process_queue st =
+  let budget = ref (Admission.length st.queue) in
+  while !budget > 0 do
+    (match Admission.take st.queue with
+     | None -> budget := 1
+     | Some (conn, req) -> answer st conn req);
+    decr budget
+  done
+
+let expire_queue st =
+  let rec go () =
+    match Admission.take st.queue with
+    | None -> ()
+    | Some (conn, req) ->
+      st.degraded_events <- st.degraded_events + 1;
+      send st conn
+        (Protocol.degraded_reply
+           ?id:(Protocol.request_id req)
+           ~code:"H053" ~reason:"drain" ~answers:None
+           ~message:"drain deadline reached before this request ran" ());
+      go ()
+  in
+  go ()
+
+(* --- the loop --------------------------------------------------------- *)
+
+let drain_pipe fd =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd b 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let run cfg svc =
+  Fdio.ignore_sigpipe ();
+  let lfd = listen_socket cfg.addr in
+  let pr, pw = Unix.pipe ~cloexec:true () in
+  Fdio.set_nonblock pr;
+  Fdio.set_nonblock pw;
+  let drain_flag = ref false in
+  let on_signal _ =
+    drain_flag := true;
+    try ignore (Unix.write pw (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let st =
+    { cfg;
+      svc;
+      conns = [];
+      queue = Admission.create ~capacity:cfg.max_queue;
+      draining = false;
+      drain_deadline = 0.;
+      degraded_events = 0;
+      crashed = 0 }
+  in
+  let listener_open = ref true in
+  Printf.eprintf "mdqa serve: listening on %s\n%!" (addr_string cfg.addr);
+  let finished = ref false in
+  while not !finished do
+    if !drain_flag && not st.draining then (
+      st.draining <- true;
+      st.drain_deadline <- now () +. cfg.drain_grace;
+      if !listener_open then (
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        listener_open := false;
+        remove_unix_path cfg.addr);
+      Printf.eprintf "mdqa serve: draining (grace %.1fs)\n%!" cfg.drain_grace);
+    st.conns <- List.filter (fun c -> c.alive) st.conns;
+    let read_fds =
+      (if !listener_open then [ lfd ] else [])
+      @ (pr :: List.map (fun c -> c.fd) st.conns)
+    in
+    let tmo = if Admission.is_empty st.queue then 0.25 else 0. in
+    (match Unix.select read_fds [] [] tmo with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+       (* a conn closed underneath us; the alive filter above cleans
+          it up next iteration *)
+       st.conns <- List.filter (fun c -> c.alive) st.conns
+     | ready, _, _ ->
+       if List.mem pr ready then drain_pipe pr;
+       if !listener_open && List.mem lfd ready then accept_loop st lfd;
+       List.iter
+         (fun c -> if c.alive && List.mem c.fd ready then feed st c)
+         st.conns);
+    check_slow_loris st;
+    process_queue st;
+    if st.draining then (
+      if now () > st.drain_deadline then expire_queue st;
+      if Admission.is_empty st.queue then finished := true)
+  done;
+  List.iter close_conn st.conns;
+  (try Unix.close pr with Unix.Unix_error _ -> ());
+  (try Unix.close pw with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  let checkpoint_failed =
+    match Service.checkpoint svc ~force:true with
+    | `Written bytes ->
+      Printf.eprintf "mdqa serve: final checkpoint (%d bytes)\n%!" bytes;
+      false
+    | `No_store -> false
+    | `Breaker_open _ -> false
+    | `Failed msg ->
+      Printf.eprintf "mdqa serve: final checkpoint failed: %s\n%!" msg;
+      true
+    | exception e ->
+      Printf.eprintf "mdqa serve: final checkpoint failed: %s\n%!"
+        (Printexc.to_string e);
+      true
+  in
+  Service.close svc;
+  Printf.eprintf
+    "mdqa serve: drained (%d requests, %d shed, %d crashed, %d degraded)\n%!"
+    (Service.requests svc) (Admission.shed st.queue) st.crashed
+    st.degraded_events;
+  if
+    st.degraded_events > 0 || checkpoint_failed
+    || not (Service.warm_saturated svc)
+  then 2
+  else 0

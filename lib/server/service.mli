@@ -1,0 +1,92 @@
+(** The warm query engine behind [mdqa serve].
+
+    The paper's tractability argument (QA over weakly-sticky ontologies
+    is PTIME in data complexity) only pays off if the chase fixpoint is
+    computed {e once} and kept warm: a service loads an ontology —
+    preferring a crash-safe store snapshot when one exists — chases to
+    fixpoint under the server guard, and then answers every query by
+    plain evaluation over the materialized instance.
+
+    Robustness contract:
+    - {!query} never raises: query syntax errors, unknown predicates,
+      budget trips and an inconsistent ontology all come back as
+      values.
+    - Each request runs under a {!Mdqa_datalog.Guard.fork} of the
+      server guard, so one hostile query can exhaust {e its} budget but
+      not the server's.
+    - Checkpoint writes go through a {!Breaker}: repeated I/O failures
+      trip it open and the service keeps answering from memory —
+      stale-but-consistent — probing the disk again after a backoff. *)
+
+type t
+
+val load :
+  ?guard:Mdqa_datalog.Guard.t ->
+  ?breaker:Breaker.t ->
+  ?store:string ->
+  ?checkpoint_every:int ->
+  ?program_file:string ->
+  unit ->
+  (t, Mdqa_datalog.Diag.t list) result
+(** Bring the service up.  When [store] names an existing snapshot the
+    service warm-starts from it ([Store.resume]: replay + chase on to
+    fixpoint) and [program_file] is not read; otherwise [program_file]
+    is validated, chased (checkpointing into [store] when given), and
+    served.  Validation or recovery failure is the returned diagnostic
+    list.  [checkpoint_every] (default 64, [0] disables) re-snapshots
+    the fixpoint every that many requests — self-healing if the on-disk
+    image is lost or the disk recovers after failures. *)
+
+type query_outcome =
+  | Answers of Mdqa_relational.Tuple.t list  (** complete *)
+  | Partial of Mdqa_relational.Tuple.t list * Mdqa_datalog.Guard.exhaustion
+      (** a budget ran out (theirs or the warm chase's): sound
+          under-approximation *)
+  | Bad_query of Mdqa_datalog.Diag.t  (** E002 / E012: reply error *)
+  | Inconsistent of string
+      (** the warm chase failed a constraint; no meaningful answers *)
+
+val query :
+  t ->
+  ?timeout:float ->
+  ?max_steps:int ->
+  engine:Protocol.engine ->
+  string ->
+  query_outcome
+(** Answer one query given in surface syntax.  [timeout]/[max_steps]
+    bound this request via a guard fork; consumption is folded back
+    into the server guard afterwards.  Never raises. *)
+
+val request_served : t -> unit
+(** Count one served request; every [checkpoint_every]-th triggers a
+    breaker-guarded {!checkpoint}. *)
+
+val checkpoint :
+  t ->
+  force:bool ->
+  [ `Written of int  (** bytes *)
+  | `Breaker_open of float  (** skipped; retry at (clock time) *)
+  | `Failed of string
+  | `No_store ]
+(** Snapshot the warm fixpoint through the circuit breaker.  [force]
+    ignores an open breaker (the final drain checkpoint gets one last
+    try regardless of history). *)
+
+val health_fields : t -> (string * Jsonl.t) list
+(** The service half of a health reply: warm-chase outcome, fixpoint
+    age and size, guard consumption, breaker state, store status,
+    requests served. *)
+
+val ready : t -> bool * string
+(** Is the service able to answer completely right now?  [false] comes
+    with a reason (inconsistent ontology, degraded fixpoint). *)
+
+val requests : t -> int
+val guard : t -> Mdqa_datalog.Guard.t
+val breaker : t -> Breaker.t
+
+val warm_saturated : t -> bool
+(** Did the warm chase reach a true fixpoint? *)
+
+val close : t -> unit
+(** Release the store handle (idempotent). *)

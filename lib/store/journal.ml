@@ -62,12 +62,21 @@ let decode_payload r =
 
 type writer = { fd : Unix.file_descr; mutable closed : bool }
 
+(* EINTR-safe: a signal landing mid-write (SIGTERM starting a server
+   drain, SIGCHLD from a harness) must not truncate a record. *)
 let write_all fd s =
   let n = String.length s in
   let rec go off =
-    if off < n then go (off + Unix.write_substring fd s off (n - off))
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
+
+let rec fsync_retry fd =
+  try Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
 
 let create ~path =
   let fd =
@@ -77,7 +86,7 @@ let create ~path =
   Buffer.add_string b magic;
   Binio.u32 b version;
   write_all fd (Buffer.contents b);
-  Unix.fsync fd;
+  fsync_retry fd;
   { fd; closed = false }
 
 let append w record =
@@ -93,11 +102,11 @@ let append w record =
   write_all w.fd frame;
   String.length frame
 
-let sync w = if not w.closed then Unix.fsync w.fd
+let sync w = if not w.closed then fsync_retry w.fd
 
 let close w =
   if not w.closed then begin
-    (try Unix.fsync w.fd with Unix.Unix_error _ -> ());
+    (try fsync_retry w.fd with Unix.Unix_error _ -> ());
     Unix.close w.fd;
     w.closed <- true
   end

@@ -75,6 +75,22 @@ let fsync_dir dir =
     Unix.close fd
   | exception Unix.Unix_error _ -> ()
 
+(* EINTR-safe and partial-write-safe: a signal mid-write (server drain,
+   harness SIGCHLD) must not tear the temp image or skip the fsync. *)
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let rec fsync_retry fd =
+  try Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
+
 let write ~path s =
   let image = encode s in
   let tmp = path ^ ".tmp" in
@@ -84,10 +100,8 @@ let write ~path s =
   Fun.protect
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
-      let n = String.length image in
-      let written = Unix.write_substring fd image 0 n in
-      if written <> n then failwith "Snapshot.write: short write";
-      Unix.fsync fd);
+      write_all fd image;
+      fsync_retry fd);
   Unix.rename tmp path;
   fsync_dir (Filename.dirname path);
   String.length image

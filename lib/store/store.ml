@@ -35,6 +35,7 @@ let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ~path ~program_text
     start_stats = zero_stats; write_error = None }
 
 let write_error st = st.write_error
+let clear_write_error st = st.write_error <- None
 
 let close st =
   match st.writer with
@@ -119,6 +120,23 @@ let checkpoint st =
           close st
         | e -> if st.write_error = None then st.write_error <- Some e);
   }
+
+(* One-shot snapshot write for a long-running service: the caller (the
+   server's circuit breaker) decides whether and when to retry, so
+   failures come back as values instead of raising — except a tripped
+   guard, which is the caller's own budget and must keep propagating. *)
+let checkpoint_now st ~instance ~stats =
+  match
+    note_instance st instance;
+    write_snapshot st ~instance ~frontier:None ~stats
+  with
+  | bytes ->
+    account st bytes;
+    Ok bytes
+  | exception (Guard.Exhausted _ as e) -> raise e
+  | exception e ->
+    if st.write_error = None then st.write_error <- Some e;
+    Error e
 
 (* --- recovery -------------------------------------------------------- *)
 

@@ -58,6 +58,24 @@ val write_error : t -> exn option
 (** The first exception swallowed while finalizing the store, if any:
     the in-memory result is good, but the on-disk image may be stale. *)
 
+val clear_write_error : t -> unit
+(** Forget a recorded write failure — a long-running server does this
+    when its circuit breaker half-opens and a probe write succeeds. *)
+
+val checkpoint_now :
+  t ->
+  instance:Mdqa_relational.Instance.t ->
+  stats:Mdqa_datalog.Chase.stats ->
+  (int, exn) result
+(** One-shot atomic snapshot of a live instance, for services that
+    checkpoint on their own cadence instead of per chase round (the
+    [mdqa serve] circuit breaker wraps this).  On success the written
+    byte count is returned and accounted to the guard; on I/O failure
+    the error is returned {e and} recorded in {!write_error} — nothing
+    raises except the attached guard's own [Guard.Exhausted].  The
+    on-disk image is never torn: the write is temp + fsync + rename
+    like every snapshot write. *)
+
 val close : t -> unit
 (** Close the journal fd.  Idempotent; called automatically by
     [on_done]. *)

@@ -1,0 +1,222 @@
+#!/bin/sh
+# Chaos harness for `mdqa serve`: kill it mid-request, break its store,
+# feed it garbage, oversize and slow-loris requests, overload it, soak
+# it — and demand that every reply carries a status, the store is never
+# corrupted, a restart answers identically, and SIGTERM drains cleanly.
+#
+# Usage: chaos_serve.sh MDQA_EXE
+set -u
+
+exe="$1"
+dir=$(mktemp -d "${TMPDIR:-/tmp}/mdqa_chaos.XXXXXX")
+trap 'kill -9 "${pid:-0}" 2>/dev/null; rm -rf "$dir"' EXIT
+
+fail() {
+  echo "chaos_serve FAIL: $1" >&2
+  shift
+  for f in "$@"; do
+    echo "--- $f" >&2
+    tail -40 "$f" >&2
+  done
+  exit 1
+}
+
+# A program with enough derived facts that queries do real work.
+prog="$dir/prog.dl"
+{
+  i=1
+  while [ "$i" -le 60 ]; do
+    echo "e($i, $((i + 1)))."
+    i=$((i + 1))
+  done
+  echo 't(X, Y) :- e(X, Y).'
+  echo 't(X, Z) :- t(X, Y), e(Y, Z).'
+} > "$prog"
+
+sock="$dir/s.sock"
+store="$dir/store.snap"
+q='q(X, Y) :- t(X, Y)'
+
+start_server() {
+  # shellcheck disable=SC2086
+  "$exe" serve "$prog" --socket "$sock" --store "$store" \
+    --checkpoint-every 5 --read-timeout 1 --max-request-bytes 2048 \
+    --drain-grace 5 $EXTRA_FLAGS 2>>"$dir/server.err" &
+  pid=$!
+  # wait for readiness: the retrying client backs off through ENOENT /
+  # connection-refused while the listener comes up
+  printf '{"kind":"ping"}\n' | timeout 30 "$exe" remote --retry "$sock" \
+    > /dev/null 2>&1 || fail "server never became ready" "$dir/server.err"
+}
+EXTRA_FLAGS=""
+
+# ---------------------------------------------------------------- baseline
+start_server
+"$exe" query --remote "$sock" -q "$q" > "$dir/baseline.out" 2>/dev/null
+[ -s "$dir/baseline.out" ] || fail "no baseline answers" "$dir/server.err"
+
+# ------------------------------------------- SIGKILL mid-request, restart
+# Fire requests continuously and pull the plug mid-flight.
+( while :; do printf '{"kind":"query","query":"%s"}\n' "$q"; done \
+  | "$exe" remote "$sock" > /dev/null 2>&1 ) &
+flood=$!
+sleep 0.4
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+kill "$flood" 2>/dev/null
+wait "$flood" 2>/dev/null
+
+# the store must never be corrupt, whatever the kill interrupted
+timeout 60 "$exe" store verify "$store" > "$dir/verify1.out" 2>&1
+v=$?
+[ "$v" -eq 0 ] || [ "$v" -eq 2 ] \
+  || fail "store verify exited $v after SIGKILL" "$dir/verify1.out"
+
+# a restart (warm-started from that store) must answer byte-identically
+start_server
+"$exe" query --remote "$sock" -q "$q" > "$dir/restarted.out" 2>/dev/null
+cmp -s "$dir/baseline.out" "$dir/restarted.out" \
+  || fail "restart answers differ from baseline" \
+       "$dir/baseline.out" "$dir/restarted.out"
+
+# ------------------------------------------------- store fault injection
+# Root ignores chmod -w, so break the snapshot path itself: a directory
+# where the snapshot file should be makes every rename fail.
+rm -f "$store"
+mkdir "$store"
+i=0
+while [ "$i" -lt 25 ]; do
+  printf '{"kind":"query","query":"%s"}\n' "$q"
+  i=$((i + 1))
+done | "$exe" remote "$sock" > "$dir/faulted.out" 2>&1 \
+  || fail "server dropped requests during store faults" "$dir/server.err"
+n=$(grep -c '"status":"complete"' "$dir/faulted.out")
+[ "$n" -eq 25 ] \
+  || fail "queries must stay complete while the store fails (got $n/25)" \
+       "$dir/faulted.out" "$dir/server.err"
+printf '{"kind":"health"}\n' | "$exe" remote "$sock" > "$dir/health_open.out"
+grep -q '"state":"open"' "$dir/health_open.out" \
+  || fail "breaker must trip open after repeated checkpoint failures" \
+       "$dir/health_open.out" "$dir/server.err"
+
+# heal the disk; after the cooldown a half-open probe must re-close it
+rmdir "$store"
+sleep 1.2
+i=0
+while [ "$i" -lt 15 ]; do
+  printf '{"kind":"query","query":"%s"}\n' "$q"
+  i=$((i + 1))
+  sleep 0.1
+done | "$exe" remote "$sock" > /dev/null 2>&1
+printf '{"kind":"health"}\n' | "$exe" remote "$sock" > "$dir/health_closed.out"
+grep -q '"state":"closed"' "$dir/health_closed.out" \
+  || fail "breaker must close again once the disk recovers" \
+       "$dir/health_closed.out" "$dir/server.err"
+[ -f "$store" ] || fail "healed store must be re-snapshotted" "$dir/server.err"
+
+# ------------------------------- malformed, oversized, slow-loris probes
+# malformed: an E024 reply, and the connection stays usable
+printf 'this is not json\n{"kind":"ping"}\n' | "$exe" remote "$sock" \
+  > "$dir/malformed.out" 2>&1
+grep -q '"code":"E024"' "$dir/malformed.out" \
+  || fail "malformed request must be answered E024" "$dir/malformed.out"
+grep -q '"status":"complete"' "$dir/malformed.out" \
+  || fail "connection must survive a malformed request" "$dir/malformed.out"
+
+# oversized: E025, connection closed
+{
+  printf '{"kind":"query","query":"'
+  i=0
+  while [ "$i" -lt 300 ]; do
+    printf 'xxxxxxxxxx'
+    i=$((i + 1))
+  done
+  printf '"}\n'
+} | "$exe" remote "$sock" > "$dir/oversized.out" 2>&1
+grep -q '"code":"E025"' "$dir/oversized.out" \
+  || fail "oversized request must be answered E025" "$dir/oversized.out"
+
+# slow-loris: dribble bytes slower than --read-timeout; the server must
+# cut the connection and keep serving everyone else
+printf '{"kind":"query","query":"%s"}\n' "$q" \
+  | timeout 30 "$exe" remote "$sock" --slow 0.05 > "$dir/loris.out" 2>&1
+printf '{"kind":"ping"}\n' | "$exe" remote "$sock" > "$dir/after_loris.out" \
+  || fail "server must survive a slow-loris client" "$dir/server.err"
+grep -q '"status":"complete"' "$dir/after_loris.out" \
+  || fail "server must keep answering after a slow-loris cut" \
+       "$dir/after_loris.out"
+
+# ------------------------------------------------------- overload shedding
+# a burst beyond the admission queue must be shed with degraded:overload,
+# never queued without bound and never dropped without a reply
+kill -TERM "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+EXTRA_FLAGS="--max-queue 4"
+start_server
+EXTRA_FLAGS=""
+i=0
+while [ "$i" -lt 60 ]; do
+  printf '{"kind":"query","query":"%s","id":%d}\n' "$q" "$i"
+  i=$((i + 1))
+done | "$exe" remote "$sock" --burst > "$dir/burst.out" 2>&1
+replies=$(grep -c '"status"' "$dir/burst.out")
+[ "$replies" -eq 60 ] \
+  || fail "every burst request needs a reply (got $replies/60)" \
+       "$dir/burst.out" "$dir/server.err"
+grep -q '"degraded":"overload"' "$dir/burst.out" \
+  || fail "a 60-deep burst against a 4-deep queue must shed" "$dir/burst.out"
+grep -q '"status":"complete"' "$dir/burst.out" \
+  || fail "admitted burst requests must still be answered" "$dir/burst.out"
+
+# ------------------------------------------------------------------- soak
+# 500 mixed requests: valid queries, pings, health, malformed lines, and
+# a store fault injected (and healed) along the way.
+soak="$dir/soak.in"
+i=0
+while [ "$i" -lt 500 ]; do
+  case $((i % 5)) in
+    0) printf '{"kind":"query","query":"%s","id":%d}\n' "$q" "$i" ;;
+    1) printf '{"kind":"ping","id":%d}\n' "$i" ;;
+    2) printf '{"kind":"health","id":%d}\n' "$i" ;;
+    3) printf 'garbage line %d\n' "$i" ;;
+    4) printf '{"kind":"query","query":"broken(","id":%d}\n' "$i" ;;
+  esac
+  i=$((i + 1))
+done > "$soak"
+( sleep 0.5; rm -f "$store"; mkdir "$store"; sleep 1; rmdir "$store" ) &
+faulter=$!
+timeout 120 "$exe" remote "$sock" < "$soak" > "$dir/soak.out" 2>&1 \
+  || fail "soak client failed" "$dir/soak.out" "$dir/server.err"
+wait "$faulter" 2>/dev/null
+replies=$(grep -c '"status"' "$dir/soak.out")
+[ "$replies" -eq 500 ] \
+  || fail "soak: got $replies/500 replies with a status" \
+       "$dir/soak.out" "$dir/server.err"
+if grep -Eq 'Fatal error|Raised at|Raised by' "$dir/server.err"; then
+  fail "unhandled exception in server stderr during soak" "$dir/server.err"
+fi
+kill -0 "$pid" 2>/dev/null || fail "server died during soak" "$dir/server.err"
+
+# --------------------------------------------------------- graceful drain
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null
+drain_rc=$?
+{ [ "$drain_rc" -eq 0 ] || [ "$drain_rc" -eq 2 ]; } \
+  || fail "drain must exit 0 or 2, got $drain_rc" "$dir/server.err"
+[ ! -e "$sock" ] || fail "socket file must be removed on drain"
+
+# the drained store must be clean and a fresh server must still agree
+timeout 60 "$exe" store verify "$store" > "$dir/verify2.out" 2>&1
+v=$?
+[ "$v" -eq 0 ] || [ "$v" -eq 2 ] \
+  || fail "store verify exited $v after drain" "$dir/verify2.out"
+start_server
+"$exe" query --remote "$sock" -q "$q" > "$dir/final.out" 2>/dev/null
+cmp -s "$dir/baseline.out" "$dir/final.out" \
+  || fail "post-chaos answers differ from baseline" \
+       "$dir/baseline.out" "$dir/final.out"
+kill -TERM "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+
+echo "chaos_serve: survived SIGKILL, store faults, garbage, slow-loris, overload and a 500-request soak"
+exit 0

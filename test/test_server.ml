@@ -1,0 +1,390 @@
+(* Unit and property tests for the mdqa_server building blocks: backoff
+   (the ISSUE's qcheck properties), circuit breaker transitions under an
+   injected clock, admission-queue shedding, the JSONL codec, the wire
+   protocol, and Guard.fork/absorb budget arithmetic.  The end-to-end
+   loop — signals, socket faults, overload — is exercised by
+   test/chaos_serve.sh. *)
+
+open Mdqa_server
+module Guard = Mdqa_datalog.Guard
+
+(* --- backoff: full-jitter properties --------------------------------- *)
+
+let policy_arb =
+  QCheck.make
+    ~print:(fun (base, cap_mult, attempts, budget) ->
+      Printf.sprintf "base=%g cap=%g attempts=%d budget=%g" base
+        (base *. cap_mult) attempts budget)
+    QCheck.Gen.(
+      quad
+        (float_range 0.001 1.0)
+        (float_range 1.0 100.0)
+        (int_range 0 10)
+        (float_range 0.0 20.0))
+
+let mk_policy (base, cap_mult, attempts, budget) =
+  Backoff.policy ~base ~cap:(base *. cap_mult) ~max_attempts:attempts ~budget
+    ()
+
+let prop_delay_within_bounds =
+  QCheck.Test.make ~name:"backoff: jittered delay stays within [0, cap]"
+    ~count:500
+    QCheck.(pair policy_arb (pair (int_range 0 80) int))
+    (fun (pspec, (attempt, seed)) ->
+      let p = mk_policy pspec in
+      let st = Random.State.make [| seed |] in
+      let d = Backoff.delay p ~rand:(Random.State.float st) ~attempt in
+      d >= 0. && d <= p.Backoff.cap
+      && d <= Backoff.ceiling p ~attempt)
+
+let prop_ceiling_monotone =
+  QCheck.Test.make
+    ~name:"backoff: ceiling is monotone and capped past the crossover"
+    ~count:500
+    QCheck.(pair policy_arb (int_range 0 79))
+    (fun (pspec, attempt) ->
+      let p = mk_policy pspec in
+      let here = Backoff.ceiling p ~attempt in
+      let next = Backoff.ceiling p ~attempt:(attempt + 1) in
+      here <= next && next <= p.Backoff.cap
+      && Backoff.ceiling p ~attempt:80 = p.Backoff.cap)
+
+let prop_budget_bounds_sleep =
+  QCheck.Test.make
+    ~name:"backoff: retry budget bounds total sleep and attempt count"
+    ~count:500
+    QCheck.(pair policy_arb int)
+    (fun (pspec, seed) ->
+      let p = mk_policy pspec in
+      let st = Random.State.make [| seed |] in
+      let bo = Backoff.start p in
+      let total = ref 0. in
+      let rec drain () =
+        match Backoff.next bo ~rand:(Random.State.float st) with
+        | Some d ->
+          total := !total +. d;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      !total <= p.Backoff.budget +. 1e-9
+      && Backoff.attempts bo <= p.Backoff.max_attempts
+      && Float.abs (Backoff.slept bo -. !total) < 1e-9)
+
+(* --- breaker: every transition under an injected clock --------------- *)
+
+let test_breaker_trip_and_recover () =
+  let now = ref 0. in
+  let b =
+    Breaker.create ~threshold:3 ~cooldown:1.0 ~cooldown_cap:60.0
+      ~clock:(fun () -> !now)
+      ()
+  in
+  Alcotest.(check bool) "starts closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "below threshold stays closed" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "third failure trips open" false (Breaker.allow b);
+  Alcotest.(check int) "one trip counted" 1 (Breaker.trips b);
+  (match Breaker.retry_at b with
+   | Some at -> Alcotest.(check (float 1e-9)) "half-opens at cooldown" 1.0 at
+   | None -> Alcotest.fail "open breaker must expose retry_at");
+  now := 1.5;
+  Alcotest.(check bool) "cooldown elapsed: one probe allowed" true
+    (Breaker.allow b);
+  Alcotest.(check bool) "second probe refused while first in flight" false
+    (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check string) "failed probe re-opens" "open" (Breaker.state_name b);
+  (match Breaker.retry_at b with
+   | Some at ->
+     Alcotest.(check (float 1e-9)) "cooldown doubled" (1.5 +. 2.0) at
+   | None -> Alcotest.fail "re-opened breaker must expose retry_at");
+  now := 4.0;
+  Alcotest.(check bool) "second probe window" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check bool) "successful probe closes" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check int) "failure count reset" 0 (Breaker.consecutive_failures b);
+  (* cooldown reset too: next trip opens for the base cooldown again *)
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  match Breaker.retry_at b with
+  | Some at -> Alcotest.(check (float 1e-9)) "cooldown reset" (4.0 +. 1.0) at
+  | None -> Alcotest.fail "tripped breaker must expose retry_at"
+
+let test_breaker_cooldown_cap () =
+  let now = ref 0. in
+  let b =
+    Breaker.create ~threshold:1 ~cooldown:1.0 ~cooldown_cap:4.0
+      ~clock:(fun () -> !now)
+      ()
+  in
+  (* fail every probe: cooldown 1 -> 2 -> 4 -> capped at 4 *)
+  Breaker.record_failure b;
+  let fail_probe expected =
+    now := Option.get (Breaker.retry_at b) +. 0.001;
+    Alcotest.(check bool) "probe allowed" true (Breaker.allow b);
+    Breaker.record_failure b;
+    match Breaker.retry_at b with
+    | Some at ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "cooldown %.0f" expected)
+        expected (at -. !now +. 0.001 |> Float.round)
+    | None -> Alcotest.fail "must be open"
+  in
+  fail_probe 2.;
+  fail_probe 4.;
+  fail_probe 4.;
+  fail_probe 4.
+
+(* --- admission queue -------------------------------------------------- *)
+
+let test_admission_fifo_and_shed () =
+  let q = Admission.create ~capacity:3 in
+  Alcotest.(check bool) "accepts 1" true (Admission.offer q 1);
+  Alcotest.(check bool) "accepts 2" true (Admission.offer q 2);
+  Alcotest.(check bool) "accepts 3" true (Admission.offer q 3);
+  Alcotest.(check bool) "sheds 4" false (Admission.offer q 4);
+  Alcotest.(check bool) "sheds 5" false (Admission.offer q 5);
+  Alcotest.(check int) "shed counted" 2 (Admission.shed q);
+  Alcotest.(check int) "accepted counted" 3 (Admission.accepted q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Admission.take q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Admission.take q);
+  Alcotest.(check bool) "freed capacity readmits" true (Admission.offer q 6);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Admission.take q);
+  Alcotest.(check (option int)) "fifo 6" (Some 6) (Admission.take q);
+  Alcotest.(check (option int)) "empty" None (Admission.take q);
+  Alcotest.(check bool) "is_empty" true (Admission.is_empty q)
+
+(* --- jsonl codec ------------------------------------------------------ *)
+
+let jsonl_arb =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Jsonl.Null;
+        map (fun b -> Jsonl.Bool b) bool;
+        map (fun n -> Jsonl.Num (float_of_int n)) (int_range (-1000) 1000);
+        map (fun f -> Jsonl.Num f) (float_range (-1e6) 1e6);
+        map (fun s -> Jsonl.Str s) (string_size ~gen:printable (int_range 0 12))
+      ]
+  in
+  let value =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then scalar
+            else
+              frequency
+                [ (3, scalar);
+                  (1, map (fun l -> Jsonl.List l)
+                        (list_size (int_range 0 4) (self (n / 2))));
+                  (1,
+                   map (fun kvs -> Jsonl.Obj kvs)
+                     (list_size (int_range 0 4)
+                        (pair
+                           (string_size ~gen:(char_range 'a' 'z')
+                              (int_range 1 6))
+                           (self (n / 2))))) ])
+          (min n 8))
+  in
+  QCheck.make ~print:Jsonl.to_string value
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~name:"jsonl: parse (to_string v) = v" ~count:500 jsonl_arb
+    (fun v -> Jsonl.parse (Jsonl.to_string v) = Ok v)
+
+let prop_jsonl_total =
+  QCheck.Test.make ~name:"jsonl: parse never raises on arbitrary bytes"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255))
+                     (int_range 0 64)))
+    (fun s ->
+      match Jsonl.parse s with Ok _ | Error _ -> true)
+
+let test_jsonl_unicode () =
+  (match Jsonl.parse {|"aé😀b"|} with
+   | Ok (Jsonl.Str s) ->
+     Alcotest.(check string) "utf-8 decoding" "a\xc3\xa9\xf0\x9f\x98\x80b" s
+   | _ -> Alcotest.fail "unicode escapes must parse");
+  (match Jsonl.parse {|"\ud83d"|} with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unpaired surrogate must be rejected");
+  match Jsonl.parse {|{"a": 1} trailing|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes must be rejected"
+
+let test_jsonl_depth_limit () =
+  let deep = String.make 600 '[' ^ String.make 600 ']' in
+  match Jsonl.parse deep with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "600-deep nesting must be rejected"
+
+(* --- protocol --------------------------------------------------------- *)
+
+let test_parse_request_ok () =
+  (match
+     Protocol.parse_request
+       {|{"kind":"query","query":"q(X) :- p(X)","id":7,"engine":"proof","timeout":0.5,"max_steps":100}|}
+   with
+   | Ok (Protocol.Query { query; engine; timeout; max_steps; id }) ->
+     Alcotest.(check string) "query" "q(X) :- p(X)" query;
+     Alcotest.(check bool) "engine" true (engine = Protocol.Proof);
+     Alcotest.(check (option (float 1e-9))) "timeout" (Some 0.5) timeout;
+     Alcotest.(check (option int)) "max_steps" (Some 100) max_steps;
+     Alcotest.(check bool) "id echoed" true (id = Some (Jsonl.Num 7.))
+   | _ -> Alcotest.fail "well-formed query must parse");
+  match Protocol.parse_request {|{"kind":"health"}|} with
+  | Ok (Protocol.Health { id = None }) -> ()
+  | _ -> Alcotest.fail "health must parse"
+
+let test_parse_request_bad () =
+  let is_e024 input =
+    match Protocol.parse_request input with
+    | Error d -> d.Mdqa_datalog.Diag.code = "E024"
+    | Ok _ -> false
+  in
+  List.iter
+    (fun input ->
+      Alcotest.(check bool)
+        (Printf.sprintf "E024 for %s" input)
+        true (is_e024 input))
+    [ "not json";
+      "[1,2,3]";
+      {|{"no_kind": true}|};
+      {|{"kind": "launch_missiles"}|};
+      {|{"kind": "query"}|};
+      {|{"kind": "query", "query": 42}|};
+      {|{"kind": "query", "query": "q(X) :- p(X)", "engine": "warp"}|};
+      {|{"kind": "query", "query": "q(X) :- p(X)", "timeout": -1}|};
+      {|{"kind": "query", "query": "q(X) :- p(X)", "max_steps": 0}|} ]
+
+let test_reply_roundtrip () =
+  let t =
+    Mdqa_relational.Tuple.of_list
+      [ Mdqa_relational.Value.Sym "a"; Mdqa_relational.Value.Int 3;
+        Mdqa_relational.Value.Null 2 ]
+  in
+  let line =
+    Protocol.complete_reply ~id:(Jsonl.Num 9.) ~answers:(Some [ t ]) ()
+  in
+  Alcotest.(check bool) "newline-terminated" true
+    (String.length line > 0 && line.[String.length line - 1] = '\n');
+  (match Protocol.parse_reply (String.trim line) with
+   | Ok r ->
+     Alcotest.(check string) "status" "complete" r.Protocol.status;
+     Alcotest.(check bool) "id" true (r.Protocol.id = Some (Jsonl.Num 9.));
+     Alcotest.(check (option (list (list string))))
+       "answers rendered" (Some [ [ "a"; "3"; "_:2" ] ])
+       r.Protocol.answers
+   | Error e -> Alcotest.fail e);
+  let degraded =
+    Protocol.degraded_reply ~code:"W047" ~reason:"overload" ~answers:None
+      ~message:"shed" ()
+  in
+  match Protocol.parse_reply (String.trim degraded) with
+  | Ok r ->
+    Alcotest.(check string) "status" "degraded" r.Protocol.status;
+    Alcotest.(check (option string)) "reason" (Some "overload")
+      r.Protocol.reason;
+    Alcotest.(check (option string)) "code" (Some "W047") r.Protocol.code
+  | Error e -> Alcotest.fail e
+
+(* --- Guard.fork / absorb ---------------------------------------------- *)
+
+let consume_steps g n =
+  for _ = 1 to n do
+    Guard.count_step g
+  done
+
+let test_fork_caps_child_by_remaining () =
+  let parent = Guard.create ~max_steps:10 () in
+  consume_steps parent 4;
+  let child = Guard.fork parent in
+  consume_steps child 6;
+  (match Guard.count_step child with
+   | () -> Alcotest.fail "child must trip at the parent's remaining budget"
+   | exception Guard.Exhausted e ->
+     Alcotest.(check bool) "steps resource" true
+       (e.Guard.resource = Guard.Steps));
+  (* the child's trip never propagates to the parent *)
+  Guard.count_step parent
+
+let test_fork_requested_below_remaining () =
+  let parent = Guard.create ~max_steps:100 () in
+  let child = Guard.fork ~max_steps:3 parent in
+  consume_steps child 3;
+  match Guard.count_step child with
+  | () -> Alcotest.fail "child must honour its own smaller budget"
+  | exception Guard.Exhausted _ -> ()
+
+let test_fork_requested_above_remaining () =
+  let parent = Guard.create ~max_steps:10 () in
+  consume_steps parent 8;
+  let child = Guard.fork ~max_steps:1000 parent in
+  consume_steps child 2;
+  match Guard.count_step child with
+  | () -> Alcotest.fail "child cannot exceed the parent's remaining budget"
+  | exception Guard.Exhausted _ -> ()
+
+let test_absorb_folds_consumption_back () =
+  let parent = Guard.create ~max_steps:10 () in
+  consume_steps parent 4;
+  let child = Guard.fork parent in
+  consume_steps child 6;
+  Guard.absorb parent child;
+  Alcotest.(check int) "parent sees child's consumption" 10
+    (Guard.consumption parent).Guard.steps;
+  match Guard.count_step parent with
+  | () -> Alcotest.fail "absorbed consumption must count against the parent"
+  | exception Guard.Exhausted _ -> ()
+
+let test_absorb_never_raises () =
+  let parent = Guard.create ~max_steps:5 () in
+  let child = Guard.fork parent in
+  consume_steps parent 5;
+  (* child consumption pushes the parent past its limit; absorb itself
+     must stay silent — the *next* count trips *)
+  consume_steps child 5;
+  Guard.absorb parent child;
+  Alcotest.(check int) "over-limit after absorb" 10
+    (Guard.consumption parent).Guard.steps
+
+(* --- suites ----------------------------------------------------------- *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_delay_within_bounds; prop_ceiling_monotone;
+      prop_budget_bounds_sleep; prop_jsonl_roundtrip; prop_jsonl_total ]
+
+let suites =
+  [ ( "server.backoff-breaker-admission",
+      [ case "breaker: trip, probe, re-open, recover"
+          test_breaker_trip_and_recover;
+        case "breaker: cooldown doubles up to the cap"
+          test_breaker_cooldown_cap;
+        case "admission: fifo order and shed accounting"
+          test_admission_fifo_and_shed ] );
+    ( "server.protocol",
+      [ case "jsonl: unicode escapes and trailing bytes" test_jsonl_unicode;
+        case "jsonl: nesting depth limit" test_jsonl_depth_limit;
+        case "parse_request: well-formed" test_parse_request_ok;
+        case "parse_request: malformations are E024" test_parse_request_bad;
+        case "replies round-trip through parse_reply" test_reply_roundtrip ] );
+    ( "server.guard-fork",
+      [ case "fork caps child by parent remaining"
+          test_fork_caps_child_by_remaining;
+        case "fork honours a smaller requested budget"
+          test_fork_requested_below_remaining;
+        case "fork clamps a larger requested budget"
+          test_fork_requested_above_remaining;
+        case "absorb folds consumption back"
+          test_absorb_folds_consumption_back;
+        case "absorb never raises" test_absorb_never_raises ] );
+    ("server.properties", qcheck_cases) ]
