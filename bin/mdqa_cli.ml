@@ -45,6 +45,8 @@ module Sproto = Mdqa_server.Protocol
 module Jsonl = Mdqa_server.Jsonl
 module Backoff = Mdqa_server.Backoff
 module Fdio = Mdqa_server.Fdio
+module Logger = Mdqa_obs.Logger
+module Trace = Mdqa_obs.Trace
 
 let exit_complete = 0
 let exit_error = 1
@@ -61,20 +63,24 @@ let run_protected f =
   try f () with
   | Fatal_diags -> exit_error
   | Parser.Error { line; message; _ } ->
-    Format.eprintf "mdqa: parse error at line %d: %s@." line message;
+    Logger.error ~fields:[ ("line", Logger.Int line) ]
+      ("parse error: " ^ message);
     exit_error
   | Mdqa_context.Md_parser.Error { line; message } ->
-    Format.eprintf "mdqa: parse error at line %d: %s@." line message;
+    Logger.error ~fields:[ ("line", Logger.Int line) ]
+      ("parse error: " ^ message);
     exit_error
   | Sys_error e | Failure e ->
-    Format.eprintf "mdqa: %s@." e;
+    Logger.error e;
     exit_error
   | Invalid_argument e ->
-    Format.eprintf "mdqa: invalid input: %s@." e;
+    Logger.error ("invalid input: " ^ e);
     exit_error
   | Unix.Unix_error (e, fn, arg) ->
-    Format.eprintf "mdqa: %s%s: %s@." fn
-      (if arg = "" then "" else " " ^ arg)
+    Logger.error
+      ~fields:
+        (("syscall", Logger.Str fn)
+        :: (if arg = "" then [] else [ ("arg", Logger.Str arg) ]))
       (Unix.error_message e);
     exit_error
 
@@ -104,12 +110,50 @@ let fatal ?file ?line ~code fmt =
       raise Fatal_diags)
     fmt
 
-let setup_logging verbose =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+(* One stderr format for everything: operational messages go through
+   the structured {!Logger}, and the [Logs] library (chase tracing) is
+   bridged into it, so `--log-json` turns the whole stream into JSONL.
+   User-facing diagnostics (file:line code message) keep their own
+   renderer — they are program output, not logs. *)
+let setup_logging ?(log_json = false) ?log_level verbose =
+  Logger.set_json log_json;
+  let lvl =
+    match log_level with
+    | Some s -> (
+      match Logger.level_of_string s with
+      | Some l -> l
+      | None ->
+        fatal ~code:"E024" "unknown log level %S (debug|info|warn|error)" s)
+    | None -> if verbose then Logger.Debug else Logger.Info
+  in
+  Logger.set_level lvl;
+  let report src level ~over k msgf =
+    let lvl =
+      match level with
+      | Logs.Debug -> Logger.Debug
+      | Logs.Info | Logs.App -> Logger.Info
+      | Logs.Warning -> Logger.Warn
+      | Logs.Error -> Logger.Error
+    in
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    Format.kasprintf
+      (fun msg ->
+        Logger.log lvl ~fields:[ ("src", Logger.Str (Logs.Src.name src)) ] msg;
+        over ();
+        k ())
+      fmt
+  in
+  Logs.set_reporter { Logs.report };
+  Logs.set_level
+    (Some
+       (match lvl with
+       | Logger.Debug -> Logs.Debug
+       | Logger.Info -> Logs.Info
+       | Logger.Warn -> Logs.Warning
+       | Logger.Error -> Logs.Error))
 
 let report_degraded e =
-  Format.eprintf "mdqa: degraded — %a@." Guard.pp_exhaustion e
+  Logger.logf Logger.Warn "degraded — %a" Guard.pp_exhaustion e
 
 (* --- common arguments ---------------------------------------------- *)
 
@@ -170,6 +214,46 @@ let verbose_arg =
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Enable debug logging (chase tracing).")
 
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Stderr log threshold: $(b,debug), $(b,info), $(b,warn) or \
+           $(b,error).  Overrides $(b,--verbose).")
+
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:"Emit stderr log records as JSONL instead of text.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run (parse, validate, chase \
+           rounds, rule firings, query evaluation) and write it to \
+           $(docv) as Chrome trace-event JSON, loadable by \
+           chrome://tracing and Perfetto.")
+
+(* The trace file is written even when the traced run degrades or
+   fails: a trace of the failure is the most useful trace of all. *)
+let with_tracer trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let tr = Trace.create () in
+    Trace.install tr;
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.uninstall ();
+        Trace.export_file tr path)
+      f
+
 let oblivious_arg =
   Arg.(
     value & flag
@@ -214,7 +298,9 @@ let report_store_write_error store =
   match Store.write_error store with
   | None -> false
   | Some e ->
-    Format.eprintf "mdqa: checkpoint write failed: %s@." (Printexc.to_string e);
+    Logger.error
+      ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+      "checkpoint write failed";
     true
 
 let chase_exit (r : Chase.result) =
@@ -225,10 +311,11 @@ let chase_exit (r : Chase.result) =
     exit_degraded
   | Chase.Failed _ -> exit_error
 
-let run_chase file checkpoint max_steps max_nulls timeout max_memory
-    max_checkpoint_bytes oblivious verbose =
+let run_chase file checkpoint trace max_steps max_nulls timeout max_memory
+    max_checkpoint_bytes oblivious verbose log_level log_json =
   run_protected @@ fun () ->
-  setup_logging verbose;
+  setup_logging ~log_json ?log_level verbose;
+  with_tracer trace @@ fun () ->
   let { Parser.program; _ } = load file in
   let inst = Program.instance_of_facts program in
   let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
@@ -267,9 +354,10 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase and print the saturated instance.")
     Cterm.(
-      const run_chase $ file_arg $ checkpoint_arg $ max_steps_arg
+      const run_chase $ file_arg $ checkpoint_arg $ trace_arg $ max_steps_arg
       $ max_nulls_arg $ timeout_arg $ max_memory_arg
-      $ max_checkpoint_bytes_arg $ oblivious_arg $ verbose_arg)
+      $ max_checkpoint_bytes_arg $ oblivious_arg $ verbose_arg
+      $ log_level_arg $ log_json_arg)
 
 (* --- resume: continue a checkpointed chase --------------------------- *)
 
@@ -281,24 +369,25 @@ let store_arg =
         ~doc:"Checkpoint store written by $(b,mdqa chase --checkpoint).")
 
 let run_resume path max_steps max_nulls timeout max_memory
-    max_checkpoint_bytes verbose =
+    max_checkpoint_bytes verbose log_level log_json =
   run_protected @@ fun () ->
-  setup_logging verbose;
+  setup_logging ~log_json ?log_level verbose;
   let guard =
     make_guard ?max_checkpoint_bytes ~max_steps ~max_nulls ~timeout
       ~max_memory ()
   in
   match Store.resume ~guard ~path () with
   | Error e ->
-    Format.eprintf "mdqa: %a@." Store.pp_load_error e;
+    Logger.logf Logger.Error "%a" Store.pp_load_error e;
     exit_error
   | Ok (r, recovery) ->
     (match recovery.Store.journal_truncation with
      | None -> ()
      | Some t ->
-       Format.eprintf "mdqa: journal truncated (%a); resumed from the %d \
-                       records before it@."
-         Mdqa_store.Journal.pp_truncation t recovery.Store.replayed);
+       Logger.logf Logger.Warn
+         ~fields:[ ("replayed", Logger.Int recovery.Store.replayed) ]
+         "journal truncated (%a); resumed from the valid prefix"
+         Mdqa_store.Journal.pp_truncation t);
     print_chase_result r;
     chase_exit r
 
@@ -313,7 +402,7 @@ let resume_cmd =
     Cterm.(
       const run_resume $ store_arg $ max_steps_arg $ max_nulls_arg
       $ timeout_arg $ max_memory_arg $ max_checkpoint_bytes_arg
-      $ verbose_arg)
+      $ verbose_arg $ log_level_arg $ log_json_arg)
 
 (* --- store: inspection of checkpoint stores -------------------------- *)
 
@@ -432,34 +521,42 @@ let run_remote_query ~addr ~engine ~attempts ~budget ~timeout ~max_steps
       let name = Printf.sprintf "q%d" i in
       match Client.roundtrip client (Jsonl.to_string req) with
       | Error e ->
-        Format.eprintf "mdqa: %s: %s@." name e;
+        Logger.error ~fields:[ ("query", Logger.Str name) ] e;
         failed := true
       | Ok r -> (
         match r.Sproto.status with
         | "complete" -> print_remote_answers name false r
         | "degraded" ->
           print_remote_answers name true r;
-          Format.eprintf "mdqa: degraded — %s@."
-            (Option.value r.Sproto.message
-               ~default:(Option.value ~default:"budget" r.Sproto.reason));
+          Logger.warn
+            ~fields:[ ("query", Logger.Str name) ]
+            ("degraded — "
+            ^ Option.value r.Sproto.message
+                ~default:(Option.value ~default:"budget" r.Sproto.reason));
           degraded := true
         | _ ->
-          Format.eprintf "mdqa: %s: %s%s@." name
-            (match r.Sproto.code with Some c -> c ^ " " | None -> "")
+          Logger.error
+            ~fields:
+              (("query", Logger.Str name)
+              :: (match r.Sproto.code with
+                 | Some c -> [ ("code", Logger.Str c) ]
+                 | None -> []))
             (Option.value ~default:"error reply" r.Sproto.message);
           failed := true))
     query_strings;
   Client.close client;
   if Client.retries client > 0 then
-    Format.eprintf "mdqa: (%d transient failures retried)@."
-      (Client.retries client);
+    Logger.info
+      ~fields:[ ("retries", Logger.Int (Client.retries client)) ]
+      "transient failures retried";
   if !failed then exit_error
   else if !degraded then exit_degraded
   else exit_complete
 
 let run_query file remote retry_attempts retry_budget engine query_strings
-    goal_directed max_steps max_nulls timeout max_memory =
+    goal_directed trace max_steps max_nulls timeout max_memory =
   run_protected @@ fun () ->
+  with_tracer trace @@ fun () ->
   match remote with
   | Some addr ->
     run_remote_query ~addr ~engine ~attempts:retry_attempts
@@ -560,7 +657,8 @@ let query_cmd =
     Cterm.(
       const run_query $ query_file_arg $ remote_arg $ retry_attempts_arg
       $ retry_budget_arg $ engine_arg $ query_arg $ goal_directed_arg
-      $ max_steps_arg $ max_nulls_arg $ timeout_arg $ max_memory_arg)
+      $ trace_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
+      $ max_memory_arg)
 
 (* --- classify -------------------------------------------------------- *)
 
@@ -915,9 +1013,14 @@ let drain_grace_arg =
 
 let run_serve file socket port host store max_queue read_timeout
     request_timeout request_max_steps max_request_bytes checkpoint_every
-    drain_grace max_steps max_nulls max_checkpoint_bytes verbose =
+    drain_grace max_steps max_nulls max_checkpoint_bytes verbose log_level
+    log_json =
   run_protected @@ fun () ->
-  setup_logging verbose;
+  setup_logging ~log_json ?log_level verbose;
+  (* A modest always-on tracer backs the protocol's "spans" request:
+     the last few thousand spans of live behaviour, introspectable
+     without restarting the server. *)
+  Trace.install (Trace.create ~capacity:4096 ());
   let addr =
     match (socket, port) with
     | Some _, Some _ ->
@@ -961,7 +1064,7 @@ let serve_cmd =
       $ serve_store_arg $ max_queue_arg $ serve_read_timeout_arg
       $ request_timeout_arg $ request_max_steps_arg $ max_request_bytes_arg
       $ checkpoint_every_arg $ drain_grace_arg $ max_steps_arg $ max_nulls_arg
-      $ max_checkpoint_bytes_arg $ verbose_arg)
+      $ max_checkpoint_bytes_arg $ verbose_arg $ log_level_arg $ log_json_arg)
 
 (* --- remote: raw line client (the chaos harness's scalpel) ----------- *)
 
@@ -1140,6 +1243,165 @@ let remote_cmd =
       const run_remote_raw $ remote_addr_arg $ slow_arg $ raw_retry_arg
       $ burst_arg)
 
+(* --- metrics: scrape a running server -------------------------------- *)
+
+let metrics_remote_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"ADDR"
+        ~doc:"Unix socket path or host:port of a running $(b,mdqa serve).")
+
+let spans_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "spans" ]
+        ~doc:
+          "Fetch the server's buffered trace spans (JSON list) instead \
+           of the metrics exposition.")
+
+let run_metrics addr spans attempts budget =
+  run_protected @@ fun () ->
+  let policy = Backoff.policy ~max_attempts:attempts ~budget () in
+  let client = Client.create ~policy ~addr () in
+  let kind = if spans then "spans" else "metrics" in
+  let req = Jsonl.to_string (Jsonl.Obj [ ("kind", Jsonl.Str kind) ]) in
+  let rc =
+    match Client.roundtrip client req with
+    | Error e ->
+      Logger.error e;
+      exit_error
+    | Ok r ->
+      if spans then (
+        match Jsonl.member "spans" r.Sproto.json with
+        | Some v ->
+          print_endline (Jsonl.to_string v);
+          exit_complete
+        | None ->
+          Logger.error "reply carries no \"spans\" field";
+          exit_error)
+      else (
+        match
+          Option.bind (Jsonl.member "exposition" r.Sproto.json) Jsonl.to_str
+        with
+        | Some text ->
+          print_string text;
+          exit_complete
+        | None ->
+          Logger.error "reply carries no \"exposition\" field";
+          exit_error)
+  in
+  Client.close client;
+  rc
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running $(b,mdqa serve): print its metrics registry \
+          as a Prometheus text exposition (request latency histogram, \
+          admission queue depth, shed/crash counters, breaker state, \
+          chase and store counters), or with $(b,--spans) the tracer's \
+          buffered spans as JSON.")
+    Cterm.(
+      const run_metrics $ metrics_remote_arg $ spans_flag_arg
+      $ retry_attempts_arg $ retry_budget_arg)
+
+(* --- trace: validate exported trace files ---------------------------- *)
+
+let require_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "require" ] ~docv:"NAME"
+        ~doc:
+          "Fail unless an event named $(docv) is present in the trace.  \
+           Repeatable.")
+
+(* The checker accepts exactly what chrome://tracing accepts: a
+   traceEvents array of objects with string name/ph and numeric
+   ts/pid/tid, complete events ("X") carrying a non-negative dur. *)
+let run_trace_verify file requires =
+  run_protected @@ fun () ->
+  let text = read_file file in
+  match Jsonl.parse text with
+  | Error e -> fatal ~file ~code:"E024" "invalid JSON: %s" e
+  | Ok json ->
+    let events =
+      match Option.bind (Jsonl.member "traceEvents" json) Jsonl.to_list with
+      | Some evs -> evs
+      | None -> fatal ~file ~code:"E024" "no \"traceEvents\" array"
+    in
+    let bad = ref 0 in
+    let names = Hashtbl.create 64 in
+    List.iteri
+      (fun i ev ->
+        let str k = Option.bind (Jsonl.member k ev) Jsonl.to_str in
+        let num k = Option.bind (Jsonl.member k ev) Jsonl.to_num in
+        let problem fmt =
+          Printf.ksprintf
+            (fun m ->
+              incr bad;
+              Logger.error ~fields:[ ("event", Logger.Int i) ] m)
+            fmt
+        in
+        (match str "name" with
+         | Some n -> Hashtbl.replace names n ()
+         | None -> problem "missing string \"name\"");
+        (match str "ph" with
+         | Some "X" -> (
+           match num "dur" with
+           | Some d when d >= 0. -> ()
+           | Some _ -> problem "negative \"dur\""
+           | None -> problem "complete event without numeric \"dur\"")
+         | Some "i" -> ()
+         | Some ph -> problem "unexpected phase %S" ph
+         | None -> problem "missing string \"ph\"");
+        if num "ts" = None then problem "missing numeric \"ts\"";
+        if num "pid" = None then problem "missing numeric \"pid\"";
+        if num "tid" = None then problem "missing numeric \"tid\"")
+      events;
+    let missing =
+      List.filter (fun r -> not (Hashtbl.mem names r)) requires
+    in
+    List.iter
+      (fun r ->
+        Logger.error ~fields:[ ("name", Logger.Str r) ]
+          "required event name absent from trace")
+      missing;
+    if !bad > 0 || missing <> [] then
+      fatal ~file ~code:"E024"
+        "trace verification failed: %d malformed events, %d required \
+         names missing"
+        !bad (List.length missing)
+    else begin
+      Printf.printf "trace OK: %d events, %d distinct names\n"
+        (List.length events) (Hashtbl.length names);
+      exit_complete
+    end
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Trace file written by $(b,--trace) or the spans request.")
+
+let trace_verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Validate a trace file against the Chrome trace-event shape \
+          (string name/ph, numeric ts/pid/tid, non-negative dur on \
+          complete events).  Exit 0 when well formed and every \
+          $(b,--require)d event name is present; 1 otherwise.")
+    Cterm.(const run_trace_verify $ trace_file_arg $ require_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Inspect span traces written by $(b,--trace).")
+    [ trace_verify_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "mdqa" ~version:"1.0.0"
@@ -1147,6 +1409,7 @@ let main_cmd =
          "Multidimensional ontological contexts for data quality \
           assessment — Datalog± engine CLI.")
     [ chase_cmd; resume_cmd; store_cmd; query_cmd; classify_cmd; check_cmd;
-      consistency_cmd; context_cmd; serve_cmd; remote_cmd ]
+      consistency_cmd; context_cmd; serve_cmd; remote_cmd; metrics_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

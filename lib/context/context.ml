@@ -72,15 +72,16 @@ let prepare t ~source =
     t.mappings;
   inst
 
-let assess_prepared ?provenance ?guard ?max_steps ?max_nulls t ~source
-    ~prepared =
+let assess_prepared ?provenance ?guard ?max_steps ?max_nulls ?metrics t
+    ~source ~prepared =
   let chase =
-    Chase.run ?provenance ?guard ?max_steps ?max_nulls (program t) prepared
+    Chase.run ?provenance ?guard ?max_steps ?max_nulls ?metrics (program t)
+      prepared
   in
   { context = t; chase; source }
 
-let assess ?provenance ?guard ?max_steps ?max_nulls t ~source =
-  assess_prepared ?provenance ?guard ?max_steps ?max_nulls t ~source
+let assess ?provenance ?guard ?max_steps ?max_nulls ?metrics t ~source =
+  assess_prepared ?provenance ?guard ?max_steps ?max_nulls ?metrics t ~source
     ~prepared:(prepare t ~source)
 
 let degradation a =

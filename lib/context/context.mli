@@ -73,6 +73,7 @@ val assess :
   ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   t ->
   source:Mdqa_relational.Instance.t ->
   assessment
@@ -93,6 +94,7 @@ val assess_prepared :
   ?guard:Mdqa_datalog.Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   t ->
   source:Mdqa_relational.Instance.t ->
   prepared:Mdqa_relational.Instance.t ->

@@ -117,6 +117,13 @@ let repairs ?guard ?(max_repairs = 64) witnesses =
   in
   let results = ref [] in
   let rec go chosen remaining =
+    let body () = go_body chosen remaining in
+    if Mdqa_obs.Trace.active () then
+      Mdqa_obs.Trace.with_span "repair.branch"
+        ~attrs:[ ("chosen", string_of_int (List.length chosen)) ]
+        body
+    else body ()
+  and go_body chosen remaining =
     Guard.count_repair_branch guard;
     match remaining with
     | [] -> results := List.rev chosen :: !results

@@ -6,6 +6,8 @@ module Instance = Mdqa_relational.Instance
 module Relation = Mdqa_relational.Relation
 module Tuple = Mdqa_relational.Tuple
 module Value = Mdqa_relational.Value
+module Metrics = Mdqa_obs.Metrics
+module Trace = Mdqa_obs.Trace
 
 type variant = Restricted | Oblivious
 
@@ -80,7 +82,7 @@ let trigger_key (tgd : Tgd.t) subst =
 
 let run_internal ?(variant = Restricted) ?(semi_naive = true)
     ?(provenance = false) ?resume_delta ?prior_provenance ?guard ?max_steps
-    ?max_nulls ?checkpoint ?null_base ?prior_stats program start =
+    ?max_nulls ?checkpoint ?null_base ?prior_stats ?metrics program start =
   let guard =
     match guard with
     | Some g -> g
@@ -111,10 +113,46 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
     | None -> if provenance then Some (Hashtbl.create 256) else None
   in
   let fired : (string * Tuple.t list, unit) Hashtbl.t = Hashtbl.create 256 in
-  let rounds = ref 0
-  and tgd_fires = ref 0
-  and triggers_checked = ref 0
-  and egd_merges = ref 0 in
+  (* All chase accounting lives in the metrics registry; [stats] is
+     derived from per-run baselines so a shared (service-lifetime)
+     registry still yields correct per-run numbers. *)
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c_rounds =
+    Metrics.counter metrics ~help:"chase rounds completed"
+      "mdqa_chase_rounds_total"
+  and c_triggers =
+    Metrics.counter metrics ~help:"chase triggers checked"
+      "mdqa_chase_triggers_total"
+  and c_fires =
+    Metrics.counter metrics ~help:"TGD firings that derived a new fact"
+      "mdqa_chase_tgd_fires_total"
+  and c_nulls =
+    Metrics.counter metrics ~help:"labelled nulls minted"
+      "mdqa_chase_nulls_total"
+  and c_merges =
+    Metrics.counter metrics ~help:"EGD null merges applied"
+      "mdqa_chase_egd_merges_total"
+  and c_facts =
+    Metrics.counter metrics ~help:"facts derived by TGD heads"
+      "mdqa_chase_facts_total"
+  in
+  let rule_fire_counter =
+    let cache = Hashtbl.create 16 in
+    fun rule ->
+      match Hashtbl.find_opt cache rule with
+      | Some c -> c
+      | None ->
+        let c =
+          Metrics.counter metrics ~help:"TGD firings per rule"
+            ~labels:[ ("rule", rule) ] "mdqa_chase_rule_fires_total"
+        in
+        Hashtbl.add cache rule c;
+        c
+  in
+  let base_rounds = Metrics.counter_value c_rounds
+  and base_triggers = Metrics.counter_value c_triggers
+  and base_fires = Metrics.counter_value c_fires
+  and base_merges = Metrics.counter_value c_merges in
   (* Delta of the previous round, per predicate. *)
   let delta : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
   let delta_mem pred t =
@@ -134,6 +172,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
       Term.Var_set.fold
         (fun v s ->
           Guard.count_null guard;
+          Metrics.inc c_nulls;
           Subst.bind_exn s v (Term.Const (Value.Fresh.next fresh)))
         (Tgd.existential_vars tgd) subst
     in
@@ -147,7 +186,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   in
 
   let fire_trigger added (tgd : Tgd.t) subst =
-    incr triggers_checked;
+    Metrics.inc c_triggers;
     Guard.count_step guard;
     let proceed =
       match variant with
@@ -161,36 +200,47 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
         end
     in
     if proceed then begin
-      let head = instantiate_head tgd subst in
-      let new_fact = ref false in
-      let premises =
-        lazy
-          (List.map
-             (fun a ->
-               let ga = Subst.apply_atom subst a in
-               (Atom.pred ga, Atom.to_tuple ga))
-             tgd.Tgd.body)
+      let do_fire () =
+        let head = instantiate_head tgd subst in
+        let new_fact = ref false in
+        let premises =
+          lazy
+            (List.map
+               (fun a ->
+                 let ga = Subst.apply_atom subst a in
+                 (Atom.pred ga, Atom.to_tuple ga))
+               tgd.Tgd.body)
+        in
+        List.iter
+          (fun a ->
+            let t = Atom.to_tuple a in
+            if Instance.add_tuple inst (Atom.pred a) t then begin
+              new_fact := true;
+              Metrics.inc c_facts;
+              ck (fun c -> c.on_fact (Atom.pred a) t);
+              (match prov with
+               | Some tbl ->
+                 if not (Hashtbl.mem tbl (Atom.pred a, t)) then
+                   Hashtbl.replace tbl (Atom.pred a, t)
+                     { rule = tgd.Tgd.name; premises = Lazy.force premises }
+               | None -> ());
+              let prev =
+                Option.value ~default:Tuple.Set.empty
+                  (Hashtbl.find_opt added (Atom.pred a))
+              in
+              Hashtbl.replace added (Atom.pred a) (Tuple.Set.add t prev)
+            end)
+          head;
+        if !new_fact then begin
+          Metrics.inc c_fires;
+          Metrics.inc (rule_fire_counter tgd.Tgd.name)
+        end
       in
-      List.iter
-        (fun a ->
-          let t = Atom.to_tuple a in
-          if Instance.add_tuple inst (Atom.pred a) t then begin
-            new_fact := true;
-            ck (fun c -> c.on_fact (Atom.pred a) t);
-            (match prov with
-             | Some tbl ->
-               if not (Hashtbl.mem tbl (Atom.pred a, t)) then
-                 Hashtbl.replace tbl (Atom.pred a, t)
-                   { rule = tgd.Tgd.name; premises = Lazy.force premises }
-             | None -> ());
-            let prev =
-              Option.value ~default:Tuple.Set.empty
-                (Hashtbl.find_opt added (Atom.pred a))
-            in
-            Hashtbl.replace added (Atom.pred a) (Tuple.Set.add t prev)
-          end)
-        head;
-      if !new_fact then incr tgd_fires
+      if Trace.active () then
+        Trace.with_span "rule.fire"
+          ~attrs:[ ("rule", tgd.Tgd.name) ]
+          do_fire
+      else do_fire ()
     end
   in
 
@@ -214,7 +264,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
     match violation with
     | None -> merged
     | Some (egd, x, y) ->
-      let replace ~from ~into =
+      let replace_work ~from ~into =
         Instance.map_values inst (fun v ->
             if Value.equal v from then into else v);
         ck (fun c -> c.on_merge ~from_:from ~into);
@@ -238,12 +288,19 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
                       d.premises })
             entries
       in
+      let replace ~from ~into =
+        if Trace.active () then
+          Trace.with_span "egd.merge"
+            ~attrs:[ ("egd", egd.Egd.name) ]
+            (fun () -> replace_work ~from ~into)
+        else replace_work ~from ~into
+      in
       (match Value.is_null x, Value.is_null y with
        | true, _ -> replace ~from:x ~into:y
        | false, true -> replace ~from:y ~into:x
        | false, false ->
          raise (Stop (Failed (Egd_clash { egd; left = x; right = y }))));
-      incr egd_merges;
+      Metrics.inc c_merges;
       Log.debug (fun m ->
           m "EGD %s merged %a into %a" egd.Egd.name Value.pp x Value.pp y);
       apply_egds true
@@ -262,11 +319,14 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   in
 
   let current_stats () =
-    { rounds = prior.rounds + !rounds;
-      tgd_fires = prior.tgd_fires + !tgd_fires;
-      triggers_checked = prior.triggers_checked + !triggers_checked;
+    { rounds = prior.rounds + (Metrics.counter_value c_rounds - base_rounds);
+      tgd_fires = prior.tgd_fires + (Metrics.counter_value c_fires - base_fires);
+      triggers_checked =
+        prior.triggers_checked
+        + (Metrics.counter_value c_triggers - base_triggers);
       nulls_created = prior.nulls_created + Value.Fresh.count fresh;
-      egd_merges = prior.egd_merges + !egd_merges }
+      egd_merges =
+        prior.egd_merges + (Metrics.counter_value c_merges - base_merges) }
   in
   let outcome =
     try
@@ -304,10 +364,14 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
            new_facts
        | None -> ());
       while !continue do
-        incr rounds;
+        Metrics.inc c_rounds;
+        let round_no = Metrics.counter_value c_rounds - base_rounds in
         Log.debug (fun m ->
-            m "round %d (%d facts so far)" !rounds
+            m "round %d (%d facts so far)" round_no
               (Instance.total_tuples inst));
+        Trace.with_span "chase.round"
+          ~attrs:[ ("round", string_of_int round_no) ]
+        @@ fun () ->
         let added : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
         List.iter
           (fun (tgd : Tgd.t) ->
@@ -380,12 +444,12 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   { instance = inst; outcome; provenance = prov; stats }
 
 let run ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls
-    ?checkpoint program start =
+    ?checkpoint ?metrics program start =
   run_internal ?variant ?semi_naive ?provenance ?guard ?max_steps ?max_nulls
-    ?checkpoint program start
+    ?checkpoint ?metrics program start
 
 let resume ?variant ?semi_naive ?guard ?max_steps ?max_nulls ?checkpoint
-    ?frontier ?null_base ?prior_stats program image =
+    ?frontier ?null_base ?prior_stats ?metrics program image =
   (* An empty frontier would make the seeded semi-naive loop terminate
      immediately whatever the image contains; a full first round is the
      safe (and cheap, if truly saturated) interpretation. *)
@@ -393,17 +457,18 @@ let resume ?variant ?semi_naive ?guard ?max_steps ?max_nulls ?checkpoint
     match frontier with Some (_ :: _ as l) -> Some l | _ -> None
   in
   run_internal ?variant ?semi_naive ?guard ?max_steps ?max_nulls ?checkpoint
-    ?resume_delta ?null_base ?prior_stats program image
+    ?resume_delta ?null_base ?prior_stats ?metrics program image
 
-let extend ?guard ?max_steps ?max_nulls program (prior : result) ~facts =
+let extend ?guard ?max_steps ?max_nulls ?metrics program (prior : result)
+    ~facts =
   match prior.outcome with
   | Saturated ->
     run_internal ~resume_delta:facts ?prior_provenance:prior.provenance
-      ?guard ?max_steps ?max_nulls program prior.instance
+      ?guard ?max_steps ?max_nulls ?metrics program prior.instance
   | _ ->
     let inst = Instance.copy prior.instance in
     List.iter (fun (pred, t) -> ignore (Instance.add_tuple inst pred t)) facts;
-    run_internal ?guard ?max_steps ?max_nulls
+    run_internal ?guard ?max_steps ?max_nulls ?metrics
       ~provenance:(prior.provenance <> None)
       program inst
 

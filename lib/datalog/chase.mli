@@ -105,6 +105,7 @@ val run :
   ?max_steps:int ->
   ?max_nulls:int ->
   ?checkpoint:checkpoint ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   Program.t ->
   Mdqa_relational.Instance.t ->
   result
@@ -118,7 +119,15 @@ val run :
     [max_nulls] are then ignored.  Without a guard one is created from
     [max_steps] (default 1_000_000) and [max_nulls] (default 100_000).
     A guard trip never raises out of [run]: it returns the partial
-    instance with [Out_of_budget]. *)
+    instance with [Out_of_budget].
+
+    Observability: all chase accounting (rounds, triggers, fires per
+    rule, nulls, EGD merges, derived facts) is recorded in [metrics]
+    when given — [stats] is derived from the same registry against a
+    per-run baseline, so a long-lived shared registry (e.g. the
+    server's) accumulates across runs while each result still reports
+    its own run.  When a {!Mdqa_obs.Trace} tracer is installed,
+    [chase.round], [rule.fire] and [egd.merge] spans are emitted. *)
 
 val resume :
   ?variant:variant ->
@@ -130,6 +139,7 @@ val resume :
   ?frontier:(string * Mdqa_relational.Tuple.t) list ->
   ?null_base:int ->
   ?prior_stats:stats ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   Program.t ->
   Mdqa_relational.Instance.t ->
   result
@@ -151,6 +161,7 @@ val extend :
   ?guard:Guard.t ->
   ?max_steps:int ->
   ?max_nulls:int ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   Program.t ->
   result ->
   facts:(string * Mdqa_relational.Tuple.t) list ->

@@ -261,6 +261,26 @@ let consumption g =
 
 let exhaustion g = g.tripped
 
+(* Publish the current consumption as gauges.  Gauges (not counters):
+   a guard is per-run state and [Metrics.merge] takes the max, which is
+   the right reading for watermark-style quantities. *)
+let record_metrics g m =
+  let set name help v =
+    Mdqa_obs.Metrics.set (Mdqa_obs.Metrics.gauge m ~help name) v
+  in
+  let c = consumption g in
+  set "mdqa_guard_steps" "chase steps consumed" (float_of_int c.steps);
+  set "mdqa_guard_nulls" "nulls consumed" (float_of_int c.nulls);
+  set "mdqa_guard_rows" "join rows consumed" (float_of_int c.rows);
+  set "mdqa_guard_cqs" "rewriting CQs consumed" (float_of_int c.cqs);
+  set "mdqa_guard_repair_branches" "repair branches consumed"
+    (float_of_int c.repair_branches);
+  set "mdqa_guard_checkpoint_bytes" "checkpoint bytes consumed"
+    (float_of_int c.checkpoint_bytes);
+  set "mdqa_guard_elapsed_seconds" "seconds since the guard was created"
+    c.elapsed;
+  set "mdqa_guard_heap_mb" "heap watermark in MiB" c.heap_mb
+
 let protect g f ~partial =
   match f () with
   | v -> Complete v

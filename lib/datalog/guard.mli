@@ -161,6 +161,11 @@ val consumption : t -> consumption
 (** Current consumption — usable as per-run stats by the bench
     harness and the CLI. *)
 
+val record_metrics : t -> Mdqa_obs.Metrics.t -> unit
+(** Publish the guard's current {!consumption} into a metrics registry
+    as [mdqa_guard_*] gauges (steps, nulls, rows, cqs, repair branches,
+    checkpoint bytes, elapsed seconds, heap MiB). *)
+
 val exhaustion : t -> exhaustion option
 (** The recorded report if the guard has tripped. *)
 

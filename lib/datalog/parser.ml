@@ -354,6 +354,7 @@ let program_of_statements ?file diags statements =
     None
 
 let parse_string input =
+  Mdqa_obs.Trace.with_span "parse" @@ fun () ->
   let st = Raw.init input in
   let rec go facts tgds egds ncs queries =
     match peek st with

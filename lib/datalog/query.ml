@@ -72,6 +72,7 @@ let images_of q subs =
     Tuple.Set.empty subs
 
 let matches ?guard inst q =
+  Mdqa_obs.Trace.with_span "eval" ~attrs:[ ("query", q.name) ] @@ fun () ->
   Tuple.Set.elements (images_of q (Eval.answers ?guard ~cmps:q.cmps inst q.body))
 
 let certain ?guard inst q =
@@ -110,6 +111,10 @@ let with_chase ?guard ?chase_variant ?(goal_directed = false) ?max_steps
     Chase.run ?variant:chase_variant ?guard ?max_steps ?max_nulls program inst
   in
   let stats = result.Chase.stats in
+  let eval ?guard i =
+    Mdqa_obs.Trace.with_span "eval" ~attrs:[ ("query", q.name) ] @@ fun () ->
+    eval ?guard i
+  in
   match result.Chase.outcome with
   | Chase.Saturated -> (
     match eval ?guard result.Chase.instance with

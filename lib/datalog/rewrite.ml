@@ -139,6 +139,9 @@ let rewrite ?guard ?(max_cqs = 10_000) ?(prune = true) (program : Program.t)
       expansions = !expansions;
       pruned = List.length ucq - List.length kept }
   in
+  Mdqa_obs.Trace.with_span "rewrite"
+    ~attrs:[ ("query", q.Query.name) ]
+  @@ fun () ->
   match add (q.Query.head, q.Query.body, q.Query.cmps) with
   | () -> Guard.Complete (finish ())
   | exception Guard.Exhausted e -> Guard.Degraded (finish (), e)

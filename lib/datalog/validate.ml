@@ -105,6 +105,7 @@ let check_statements ?file diags statements =
   check_undefined ?file diags statements
 
 let check_string ?file input =
+  Mdqa_obs.Trace.with_span "validate" @@ fun () ->
   let diags = Diag.collector ?file () in
   let statements = Parser.parse_statements ?file diags input in
   check_statements ?file diags statements;

@@ -16,9 +16,21 @@ type request =
   | Health of { id : Jsonl.t option }
   | Ready of { id : Jsonl.t option }
   | Ping of { id : Jsonl.t option }
+  | Metrics of { id : Jsonl.t option }
+  | Spans of { id : Jsonl.t option }
 
 let request_id = function
-  | Query { id; _ } | Health { id } | Ready { id } | Ping { id } -> id
+  | Query { id; _ } | Health { id } | Ready { id } | Ping { id }
+  | Metrics { id } | Spans { id } ->
+    id
+
+let request_kind = function
+  | Query _ -> "query"
+  | Health _ -> "health"
+  | Ready _ -> "ready"
+  | Ping _ -> "ping"
+  | Metrics _ -> "metrics"
+  | Spans _ -> "spans"
 
 let bad message = Error (Diag.make Diag.Error ~code:"E024" message)
 
@@ -32,6 +44,8 @@ let parse_request line =
     | Some "health" -> Ok (Health { id })
     | Some "ready" -> Ok (Ready { id })
     | Some "ping" -> Ok (Ping { id })
+    | Some "metrics" -> Ok (Metrics { id })
+    | Some "spans" -> Ok (Spans { id })
     | Some "query" -> (
       match Jsonl.str_field "query" obj with
       | None -> bad "query request has no string \"query\" field"

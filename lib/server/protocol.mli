@@ -8,7 +8,13 @@
     {"kind": "health", "id": "h1"}
     {"kind": "ready"}
     {"kind": "ping"}
+    {"kind": "metrics"}
+    {"kind": "spans"}
     v}
+
+    [metrics] returns the server's metrics registry as a Prometheus
+    text exposition (in the reply's ["exposition"] field); [spans]
+    returns the tracer's buffered spans as a JSON list (["spans"]).
 
     Replies always carry a ["status"] of ["complete"], ["degraded"] or
     ["error"] (the wire mirror of the CLI's 0/2/1 exit codes), echo the
@@ -33,8 +39,13 @@ type request =
   | Health of { id : Jsonl.t option }
   | Ready of { id : Jsonl.t option }
   | Ping of { id : Jsonl.t option }
+  | Metrics of { id : Jsonl.t option }
+  | Spans of { id : Jsonl.t option }
 
 val request_id : request -> Jsonl.t option
+
+val request_kind : request -> string
+(** The wire name of the request's kind (metric label / span attr). *)
 
 val parse_request : string -> (request, Mdqa_datalog.Diag.t) result
 (** Malformed JSON, a non-object, an unknown ["kind"], a missing or

@@ -1,5 +1,8 @@
 module Diag = Mdqa_datalog.Diag
 module Guard = Mdqa_datalog.Guard
+module Metrics = Mdqa_obs.Metrics
+module Trace = Mdqa_obs.Trace
+module Logger = Mdqa_obs.Logger
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -66,6 +69,30 @@ let send st c line =
     | Ok () -> ()
     | Error _ -> close_conn c
 
+(* Every reply leaving the server is accounted here, so the exposition's
+   per-status totals always sum to the requests answered — the chaos
+   harness holds us to that. *)
+let send_reply st c ~status ?code line =
+  let m = Service.metrics st.svc in
+  Metrics.inc
+    (Metrics.counter m ~help:"replies sent, by status"
+       ~labels:[ ("status", status) ]
+       "mdqa_server_replies_total");
+  (match code with
+  | Some code ->
+    Metrics.inc
+      (Metrics.counter m ~help:"replies carrying a diagnostic code"
+         ~labels:[ ("code", code) ]
+         "mdqa_server_diag_replies_total")
+  | None -> ());
+  send st c line
+
+let count_shed st =
+  Metrics.inc
+    (Metrics.counter (Service.metrics st.svc)
+       ~help:"requests or connections shed under overload"
+       "mdqa_server_shed_total")
+
 (* --- socket setup ----------------------------------------------------- *)
 
 let listen_socket = function
@@ -108,19 +135,74 @@ let server_fields st =
     ("crashed_requests", Jsonl.Num (float_of_int st.crashed));
     ("draining", Jsonl.Bool st.draining) ]
 
+(* Refresh scrape-time gauges and render the Prometheus exposition.
+   The reply counter for the metrics request itself is bumped after
+   rendering, so an exposition never counts its own reply. *)
+let exposition st =
+  Service.record_metrics st.svc;
+  let m = Service.metrics st.svc in
+  let set name help v = Metrics.set (Metrics.gauge m ~help name) v in
+  set "mdqa_server_admission_depth" "requests waiting in the admission queue"
+    (float_of_int (Admission.length st.queue));
+  set "mdqa_server_admission_capacity" "admission queue capacity"
+    (float_of_int (Admission.capacity st.queue));
+  set "mdqa_server_admission_accepted" "requests admitted to the queue"
+    (float_of_int (Admission.accepted st.queue));
+  set "mdqa_server_connections" "live client connections"
+    (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns)));
+  set "mdqa_server_draining" "1 while the server drains"
+    (if st.draining then 1. else 0.);
+  Metrics.to_prometheus (Metrics.snapshot m)
+
+let spans_json () =
+  match Trace.installed () with
+  | None -> Jsonl.List []
+  | Some tr ->
+    Jsonl.List
+      (List.map
+         (fun (e : Trace.event) ->
+           Jsonl.Obj
+             ([ ("name", Jsonl.Str e.Trace.name);
+                ("ts", Jsonl.Num e.Trace.ts);
+                ("dur", Jsonl.Num e.Trace.dur);
+                ("depth", Jsonl.Num (float_of_int e.Trace.depth)) ]
+             @
+             match e.Trace.attrs with
+             | [] -> []
+             | attrs ->
+               [ ("attrs",
+                  Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Str v)) attrs))
+               ]))
+         (Trace.events tr))
+
 let answer st conn req =
   let id = Protocol.request_id req in
   let reply =
     match req with
-    | Protocol.Ping _ -> Protocol.complete_reply ?id ~answers:None ()
+    | Protocol.Ping _ ->
+      (Protocol.complete_reply ?id ~answers:None (), "complete", None)
     | Protocol.Health _ ->
-      Protocol.obj_reply ?id ~status:"complete"
-        (Service.health_fields st.svc
-        @ [ ("server", Jsonl.Obj (server_fields st)) ])
+      ( Protocol.obj_reply ?id ~status:"complete"
+          (Service.health_fields st.svc
+          @ [ ("server", Jsonl.Obj (server_fields st)) ]),
+        "complete",
+        None )
     | Protocol.Ready _ ->
       let ok, reason = Service.ready st.svc in
-      Protocol.obj_reply ?id ~status:"complete"
-        [ ("ready", Jsonl.Bool ok); ("reason", Jsonl.Str reason) ]
+      ( Protocol.obj_reply ?id ~status:"complete"
+          [ ("ready", Jsonl.Bool ok); ("reason", Jsonl.Str reason) ],
+        "complete",
+        None )
+    | Protocol.Metrics _ ->
+      ( Protocol.obj_reply ?id ~status:"complete"
+          [ ("exposition", Jsonl.Str (exposition st)) ],
+        "complete",
+        None )
+    | Protocol.Spans _ ->
+      ( Protocol.obj_reply ?id ~status:"complete"
+          [ ("spans", spans_json ()) ],
+        "complete",
+        None )
     | Protocol.Query { query; engine; timeout; max_steps; _ } -> (
       let timeout =
         match timeout with Some _ -> timeout | None -> st.cfg.request_timeout
@@ -131,41 +213,70 @@ let answer st conn req =
         | None -> st.cfg.request_max_steps
       in
       match Service.query st.svc ?timeout ?max_steps ~engine query with
-      | Service.Answers a -> Protocol.complete_reply ?id ~answers:(Some a) ()
+      | Service.Answers a ->
+        (Protocol.complete_reply ?id ~answers:(Some a) (), "complete", None)
       | Service.Partial (a, e) ->
-        Protocol.degraded_reply ?id
-          ~reason:(Protocol.exhaustion_reason e)
-          ~answers:(Some a)
-          ~message:(Format.asprintf "%a" Guard.pp_exhaustion e)
-          ()
-      | Service.Bad_query d -> Protocol.error_reply ?id d
+        ( Protocol.degraded_reply ?id
+            ~reason:(Protocol.exhaustion_reason e)
+            ~answers:(Some a)
+            ~message:(Format.asprintf "%a" Guard.pp_exhaustion e)
+            (),
+          "degraded",
+          None )
+      | Service.Bad_query d ->
+        (Protocol.error_reply ?id d, "error", Some d.Diag.code)
       | Service.Inconsistent msg ->
-        Protocol.obj_reply ?id ~status:"error"
-          [ ("inconsistent", Jsonl.Bool true); ("message", Jsonl.Str msg) ])
+        ( Protocol.obj_reply ?id ~status:"error"
+            [ ("inconsistent", Jsonl.Bool true); ("message", Jsonl.Str msg) ],
+          "error",
+          None ))
   in
-  let reply =
+  let reply, status, code =
     match reply with
     | r -> r
     | exception e ->
       (* crash isolation: one poisoned request costs one error reply *)
       st.crashed <- st.crashed + 1;
-      Printf.eprintf "mdqa serve: request crashed: %s\n%!"
-        (Printexc.to_string e);
-      Protocol.error_reply ?id
-        (Diag.make Diag.Error ~code:"E027"
-           (Printf.sprintf "request crashed: %s" (Printexc.to_string e)))
+      Metrics.inc
+        (Metrics.counter (Service.metrics st.svc)
+           ~help:"requests whose handler raised" "mdqa_server_crashed_total");
+      Logger.error
+        ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+        "request crashed";
+      ( Protocol.error_reply ?id
+          (Diag.make Diag.Error ~code:"E027"
+             (Printf.sprintf "request crashed: %s" (Printexc.to_string e))),
+        "error",
+        Some "E027" )
   in
-  send st conn reply;
+  send_reply st conn ~status ?code reply;
   Service.request_served st.svc
 
 (* answer never lets an exception out: the reply computation is wrapped
-   above, and [send] reports socket failures by closing the conn. *)
+   above, and [send] reports socket failures by closing the conn.  Each
+   request is timed into the latency histogram and carries a
+   [serve.request] span when a tracer is installed. *)
 let answer st conn req =
-  try answer st conn req
-  with e ->
-    st.crashed <- st.crashed + 1;
-    Printf.eprintf "mdqa serve: request handling crashed: %s\n%!"
-      (Printexc.to_string e)
+  let m = Service.metrics st.svc in
+  let kind = Protocol.request_kind req in
+  Metrics.inc
+    (Metrics.counter m ~help:"requests received, by kind"
+       ~labels:[ ("kind", kind) ]
+       "mdqa_server_requests_total");
+  let t0 = Guard.Clock.now () in
+  (try
+     Trace.with_span "serve.request"
+       ~attrs:[ ("kind", kind) ]
+       (fun () -> answer st conn req)
+   with e ->
+     st.crashed <- st.crashed + 1;
+     Logger.error
+       ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+       "request handling crashed");
+  Metrics.observe
+    (Metrics.histogram m ~help:"request handling latency"
+       "mdqa_server_request_seconds")
+    (Guard.Clock.now () -. t0)
 
 (* --- admission -------------------------------------------------------- *)
 
@@ -176,18 +287,20 @@ let handle_line st conn line =
     | Error d ->
       (* malformed request: answer and keep the connection; the peer
          may have well-formed requests behind it *)
-      send st conn (Protocol.error_reply d)
+      send_reply st conn ~status:"error" ~code:d.Diag.code
+        (Protocol.error_reply d)
     | Ok req ->
       if st.draining then (
         st.degraded_events <- st.degraded_events + 1;
-        send st conn
+        send_reply st conn ~status:"degraded" ~code:"H053"
           (Protocol.degraded_reply
              ?id:(Protocol.request_id req)
              ~code:"H053" ~reason:"drain" ~answers:None
              ~message:"server is draining; retry against a fresh instance"
              ()))
-      else if not (Admission.offer st.queue (conn, req)) then
-        send st conn
+      else if not (Admission.offer st.queue (conn, req)) then (
+        count_shed st;
+        send_reply st conn ~status:"degraded" ~code:"W047"
           (Protocol.degraded_reply
              ?id:(Protocol.request_id req)
              ~code:"W047" ~reason:"overload" ~answers:None
@@ -195,14 +308,14 @@ let handle_line st conn line =
                (Printf.sprintf
                   "admission queue full (%d); request shed, retry with backoff"
                   (Admission.capacity st.queue))
-             ())
+             ()))
 
 let rec drain_lines st conn =
   let s = Buffer.contents conn.buf in
   match String.index_opt s '\n' with
   | None ->
     if String.length s > st.cfg.max_request_bytes then (
-      send st conn
+      send_reply st conn ~status:"error" ~code:"E025"
         (Protocol.error_reply
            (Diag.make Diag.Error ~code:"E025"
               (Printf.sprintf "request exceeds %d bytes"
@@ -217,7 +330,7 @@ let rec drain_lines st conn =
     Buffer.add_substring conn.buf s (i + 1) rest_len;
     conn.line_started <- (if rest_len > 0 then Some (now ()) else None);
     if String.length line > st.cfg.max_request_bytes then (
-      send st conn
+      send_reply st conn ~status:"error" ~code:"E025"
         (Protocol.error_reply
            (Diag.make Diag.Error ~code:"E025"
               (Printf.sprintf "request exceeds %d bytes"
@@ -242,7 +355,7 @@ let check_slow_loris st =
     (fun c ->
       match c.line_started with
       | Some t0 when c.alive && t -. t0 > st.cfg.read_timeout ->
-        send st c
+        send_reply st c ~status:"error" ~code:"E026"
           (Protocol.error_reply
              (Diag.make Diag.Error ~code:"E026"
                 (Printf.sprintf
@@ -276,7 +389,8 @@ let rec accept_loop st lfd =
       >= st.cfg.max_clients
     then (
       (* connection-level shedding: refuse politely, don't hang *)
-      send st c
+      count_shed st;
+      send_reply st c ~status:"degraded" ~code:"W047"
         (Protocol.degraded_reply ~code:"W047" ~reason:"overload" ~answers:None
            ~message:"too many connections; retry with backoff" ());
       close_conn c)
@@ -298,7 +412,7 @@ let expire_queue st =
     | None -> ()
     | Some (conn, req) ->
       st.degraded_events <- st.degraded_events + 1;
-      send st conn
+      send_reply st conn ~status:"degraded" ~code:"H053"
         (Protocol.degraded_reply
            ?id:(Protocol.request_id req)
            ~code:"H053" ~reason:"drain" ~answers:None
@@ -345,7 +459,9 @@ let run cfg svc =
       crashed = 0 }
   in
   let listener_open = ref true in
-  Printf.eprintf "mdqa serve: listening on %s\n%!" (addr_string cfg.addr);
+  Logger.info
+    ~fields:[ ("addr", Logger.Str (addr_string cfg.addr)) ]
+    "mdqa serve: listening";
   let finished = ref false in
   while not !finished do
     if !drain_flag && not st.draining then (
@@ -355,7 +471,9 @@ let run cfg svc =
         (try Unix.close lfd with Unix.Unix_error _ -> ());
         listener_open := false;
         remove_unix_path cfg.addr);
-      Printf.eprintf "mdqa serve: draining (grace %.1fs)\n%!" cfg.drain_grace);
+      Logger.info
+        ~fields:[ ("grace_s", Logger.Float cfg.drain_grace) ]
+        "mdqa serve: draining");
     st.conns <- List.filter (fun c -> c.alive) st.conns;
     let read_fds =
       (if !listener_open then [ lfd ] else [])
@@ -388,23 +506,31 @@ let run cfg svc =
   let checkpoint_failed =
     match Service.checkpoint svc ~force:true with
     | `Written bytes ->
-      Printf.eprintf "mdqa serve: final checkpoint (%d bytes)\n%!" bytes;
+      Logger.info
+        ~fields:[ ("bytes", Logger.Int bytes) ]
+        "mdqa serve: final checkpoint";
       false
     | `No_store -> false
     | `Breaker_open _ -> false
     | `Failed msg ->
-      Printf.eprintf "mdqa serve: final checkpoint failed: %s\n%!" msg;
+      Logger.error
+        ~fields:[ ("error", Logger.Str msg) ]
+        "mdqa serve: final checkpoint failed";
       true
     | exception e ->
-      Printf.eprintf "mdqa serve: final checkpoint failed: %s\n%!"
-        (Printexc.to_string e);
+      Logger.error
+        ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+        "mdqa serve: final checkpoint failed";
       true
   in
   Service.close svc;
-  Printf.eprintf
-    "mdqa serve: drained (%d requests, %d shed, %d crashed, %d degraded)\n%!"
-    (Service.requests svc) (Admission.shed st.queue) st.crashed
-    st.degraded_events;
+  Logger.info
+    ~fields:
+      [ ("requests", Logger.Int (Service.requests svc));
+        ("shed", Logger.Int (Admission.shed st.queue));
+        ("crashed", Logger.Int st.crashed);
+        ("degraded", Logger.Int st.degraded_events) ]
+    "mdqa serve: drained";
   if
     st.degraded_events > 0 || checkpoint_failed
     || not (Service.warm_saturated svc)

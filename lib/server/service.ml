@@ -1,6 +1,7 @@
 open Mdqa_datalog
 module R = Mdqa_relational
 module Store = Mdqa_store.Store
+module Metrics = Mdqa_obs.Metrics
 
 type t = {
   program : Program.t;
@@ -9,6 +10,7 @@ type t = {
   guard : Guard.t;
   store : Store.t option;
   breaker : Breaker.t;
+  metrics : Metrics.t;  (** service-lifetime registry *)
   checkpoint_every : int;
   mutable fixpoint_at : float;  (** Guard.Clock time of materialization *)
   mutable requests : int;
@@ -22,13 +24,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let mk ~program ~base ~warm ~guard ~store ~breaker ~checkpoint_every =
+let mk ~program ~base ~warm ~guard ~store ~breaker ~metrics ~checkpoint_every
+    =
   { program;
     base;
     warm;
     guard;
     store;
     breaker;
+    metrics;
     checkpoint_every;
     fixpoint_at = Guard.Clock.now ();
     requests = 0;
@@ -39,11 +43,15 @@ let diag_of_store_error path e =
   [ Diag.make ~file:path Diag.Error ~code:"E023"
       (Format.asprintf "%a" Store.pp_load_error e) ]
 
-let load ?guard ?breaker ?store ?(checkpoint_every = 64) ?program_file () =
+let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
+    ?program_file () =
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let breaker = match breaker with Some b -> b | None -> Breaker.create () in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let warm_start path =
-    match Store.resume ~guard ~path () with
+    match Store.resume ~guard ~metrics ~path () with
     | Error e -> Error (diag_of_store_error path e)
     | Ok (warm, recovery) ->
       (* Re-parse the stored program for the proof/rewrite engines and
@@ -52,12 +60,12 @@ let load ?guard ?breaker ?store ?(checkpoint_every = 64) ?program_file () =
       let program = parsed.Parser.program in
       let base = Program.instance_of_facts program in
       let st =
-        Store.create ~guard ~path
+        Store.create ~guard ~metrics ~path
           ~program_text:recovery.Store.program_text
           ~variant:recovery.Store.variant ()
       in
       Ok
-        (mk ~program ~base ~warm ~guard ~store:(Some st) ~breaker
+        (mk ~program ~base ~warm ~guard ~store:(Some st) ~breaker ~metrics
            ~checkpoint_every)
   in
   let cold_start file =
@@ -70,17 +78,18 @@ let load ?guard ?breaker ?store ?(checkpoint_every = 64) ?program_file () =
       let st =
         Option.map
           (fun path ->
-            Store.create ~guard ~path ~program_text:(read_file file)
+            Store.create ~guard ~metrics ~path ~program_text:(read_file file)
               ~variant:Chase.Restricted ())
           store
       in
       let warm =
-        Chase.run ~guard
+        Chase.run ~guard ~metrics
           ?checkpoint:(Option.map Store.checkpoint st)
           program base
       in
       let svc =
-        mk ~program ~base ~warm ~guard ~store:st ~breaker ~checkpoint_every
+        mk ~program ~base ~warm ~guard ~store:st ~breaker ~metrics
+          ~checkpoint_every
       in
       (match Option.bind st Store.write_error with
        | None -> svc.persisted <- st <> None
@@ -269,5 +278,36 @@ let health_fields t =
 let requests t = t.requests
 let guard t = t.guard
 let breaker t = t.breaker
+let metrics t = t.metrics
+
+(* Scrape-time gauges: point-in-time readings of service state that is
+   not naturally a monotonic counter.  The breaker state encoding
+   (0 = closed, 1 = open, 2 = half-open) makes trips visible as gauge
+   transitions across scrapes. *)
+let record_metrics t =
+  let m = t.metrics in
+  let set name help v = Metrics.set (Metrics.gauge m ~help name) v in
+  Guard.record_metrics t.guard m;
+  set "mdqa_server_breaker_state"
+    "checkpoint breaker state (0=closed, 1=open, 2=half-open)"
+    (match Breaker.state_name t.breaker with
+    | "open" -> 1.
+    | "half-open" -> 2.
+    | _ -> 0.);
+  set "mdqa_server_breaker_trips" "times the checkpoint breaker opened"
+    (float_of_int (Breaker.trips t.breaker));
+  set "mdqa_server_breaker_consecutive_failures"
+    "consecutive checkpoint failures"
+    (float_of_int (Breaker.consecutive_failures t.breaker));
+  set "mdqa_server_requests" "requests served by the service"
+    (float_of_int t.requests);
+  set "mdqa_server_fixpoint_facts" "facts in the warm fixpoint"
+    (float_of_int (R.Instance.total_tuples t.warm.Chase.instance));
+  set "mdqa_server_fixpoint_age_seconds"
+    "seconds since the warm fixpoint was materialized"
+    (Guard.Clock.now () -. t.fixpoint_at);
+  set "mdqa_server_fixpoint_persisted"
+    "1 when the current fixpoint reached the disk"
+    (if t.persisted then 1. else 0.)
 
 let close t = match t.store with Some st -> Store.close st | None -> ()

@@ -24,6 +24,7 @@ val load :
   ?guard:Mdqa_datalog.Guard.t ->
   ?breaker:Breaker.t ->
   ?store:string ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   ?checkpoint_every:int ->
   ?program_file:string ->
   unit ->
@@ -84,6 +85,16 @@ val ready : t -> bool * string
 val requests : t -> int
 val guard : t -> Mdqa_datalog.Guard.t
 val breaker : t -> Breaker.t
+
+val metrics : t -> Mdqa_obs.Metrics.t
+(** The service-lifetime metrics registry: the warm chase and the store
+    record into it ([mdqa_chase_*], [mdqa_store_*]), the server layers
+    its request instruments on top ([mdqa_server_*]). *)
+
+val record_metrics : t -> unit
+(** Refresh scrape-time gauges in {!metrics}: guard consumption
+    ([mdqa_guard_*]), breaker state/trips, fixpoint facts/age/persisted
+    and requests served.  Called before rendering an exposition. *)
 
 val warm_saturated : t -> bool
 (** Did the warm chase reach a true fixpoint? *)

@@ -6,6 +6,8 @@ module Chase = Mdqa_datalog.Chase
 module Guard = Mdqa_datalog.Guard
 module Diag = Mdqa_datalog.Diag
 module Parser = Mdqa_datalog.Parser
+module Metrics = Mdqa_obs.Metrics
+module Trace = Mdqa_obs.Trace
 
 let journal_path path = path ^ ".journal"
 let temp_path path = path ^ ".tmp"
@@ -14,12 +16,44 @@ let zero_stats =
   { Chase.rounds = 0; tgd_fires = 0; triggers_checked = 0; nulls_created = 0;
     egd_merges = 0 }
 
+(* Durability instruments, resolved once per store so the journal hot
+   path pays two field bumps, not a registry lookup. *)
+type instruments = {
+  ck_total : Metrics.counter;
+  ck_bytes : Metrics.counter;
+  ck_seconds : Metrics.histogram;
+  ck_failures : Metrics.counter;
+  j_frames : Metrics.counter;
+  j_bytes : Metrics.counter;
+}
+
+let instruments m =
+  { ck_total =
+      Metrics.counter m ~help:"snapshot checkpoints written"
+        "mdqa_store_checkpoint_total";
+    ck_bytes =
+      Metrics.counter m ~help:"snapshot bytes written"
+        "mdqa_store_checkpoint_bytes_total";
+    ck_seconds =
+      Metrics.histogram m ~help:"snapshot write duration"
+        "mdqa_store_checkpoint_seconds";
+    ck_failures =
+      Metrics.counter m ~help:"failed snapshot writes"
+        "mdqa_store_checkpoint_failures_total";
+    j_frames =
+      Metrics.counter m ~help:"journal frames appended"
+        "mdqa_store_journal_frames_total";
+    j_bytes =
+      Metrics.counter m ~help:"journal bytes appended"
+        "mdqa_store_journal_bytes_total" }
+
 type t = {
   path : string;
   guard : Guard.t option;
   compact_bytes : int;
   program_text : string;
   variant : Chase.variant;
+  ins : instruments;
   mutable writer : Journal.writer option;
   mutable journal_bytes : int;
   mutable max_null : int;  (** largest null label seen so far; -1 if none *)
@@ -28,10 +62,11 @@ type t = {
   mutable write_error : exn option;
 }
 
-let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ~path ~program_text
-    ~variant () =
-  { path; guard; compact_bytes; program_text; variant; writer = None;
-    journal_bytes = 0; max_null = -1; start_frontier = None;
+let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ?metrics ~path
+    ~program_text ~variant () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  { path; guard; compact_bytes; program_text; variant; ins = instruments m;
+    writer = None; journal_bytes = 0; max_null = -1; start_frontier = None;
     start_stats = zero_stats; write_error = None }
 
 let write_error st = st.write_error
@@ -61,9 +96,21 @@ let note_tuple st t = List.iter (note_value st) (Tuple.to_list t)
 let note_instance st inst = Instance.iter_facts (fun _ t -> note_tuple st t) inst
 
 let write_snapshot st ~instance ~frontier ~stats =
-  Snapshot.write ~path:st.path
-    { Snapshot.program_text = st.program_text; variant = st.variant; instance;
-      null_base = st.max_null + 1; stats; frontier }
+  Trace.with_span "store.checkpoint" ~attrs:[ ("path", st.path) ] @@ fun () ->
+  let t0 = Guard.Clock.now () in
+  match
+    Snapshot.write ~path:st.path
+      { Snapshot.program_text = st.program_text; variant = st.variant;
+        instance; null_base = st.max_null + 1; stats; frontier }
+  with
+  | bytes ->
+    Metrics.inc st.ins.ck_total;
+    Metrics.add st.ins.ck_bytes bytes;
+    Metrics.observe st.ins.ck_seconds (Guard.Clock.now () -. t0);
+    bytes
+  | exception e ->
+    Metrics.inc st.ins.ck_failures;
+    raise e
 
 (* Compaction: fold the journal into a fresh snapshot.  The snapshot
    rename commits FIRST; only then is the journal truncated.  A crash
@@ -82,6 +129,8 @@ let append st record =
   | Some w ->
     let n = Journal.append w record in
     st.journal_bytes <- st.journal_bytes + n;
+    Metrics.inc st.ins.j_frames;
+    Metrics.add st.ins.j_bytes n;
     account st n
 
 let checkpoint st =
@@ -280,7 +329,7 @@ let load ~path =
           replayed = !replayed;
           journal_truncation = !truncation }
 
-let resume ?guard ?compact_bytes ?max_steps ?max_nulls ~path () =
+let resume ?guard ?compact_bytes ?max_steps ?max_nulls ?metrics ~path () =
   match load ~path with
   | Error e -> Error e
   | Ok r -> (
@@ -289,8 +338,8 @@ let resume ?guard ?compact_bytes ?max_steps ?max_nulls ~path () =
       Error (Bad_program { line; message })
     | parsed ->
       let st =
-        create ?guard ?compact_bytes ~path ~program_text:r.program_text
-          ~variant:r.variant ()
+        create ?guard ?compact_bytes ?metrics ~path
+          ~program_text:r.program_text ~variant:r.variant ()
       in
       st.max_null <- r.null_base - 1;
       st.start_frontier <- group_frontier r.frontier;
@@ -298,8 +347,8 @@ let resume ?guard ?compact_bytes ?max_steps ?max_nulls ~path () =
       let result =
         Chase.resume ~variant:r.variant ?guard ?max_steps ?max_nulls
           ~checkpoint:(checkpoint st) ?frontier:r.frontier
-          ~null_base:r.null_base ~prior_stats:r.stats parsed.Parser.program
-          r.instance
+          ~null_base:r.null_base ~prior_stats:r.stats ?metrics
+          parsed.Parser.program r.instance
       in
       Ok (result, r))
 

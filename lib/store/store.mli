@@ -35,6 +35,7 @@ val journal_path : string -> string
 val create :
   ?guard:Mdqa_datalog.Guard.t ->
   ?compact_bytes:int ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   path:string ->
   program_text:string ->
   variant:Mdqa_datalog.Chase.variant ->
@@ -44,7 +45,12 @@ val create :
     calls the [on_start] hook (so a run that fails validation leaves no
     files).  When the journal grows past [compact_bytes] (default
     4 MiB) it is folded into a fresh snapshot at the next round
-    boundary. *)
+    boundary.
+
+    When [metrics] is given, checkpoint count/bytes/duration/failures
+    and journal frame/byte counters ([mdqa_store_*]) are recorded
+    there; snapshot writes emit a [store.checkpoint] span when a tracer
+    is installed. *)
 
 val checkpoint : t -> Mdqa_datalog.Chase.checkpoint
 (** The hooks to pass as [Chase.run ~checkpoint].  [on_fact]/[on_merge]
@@ -116,6 +122,7 @@ val resume :
   ?compact_bytes:int ->
   ?max_steps:int ->
   ?max_nulls:int ->
+  ?metrics:Mdqa_obs.Metrics.t ->
   path:string ->
   unit ->
   (Mdqa_datalog.Chase.result * recovery, load_error) result

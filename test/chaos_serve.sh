@@ -99,6 +99,14 @@ grep -q '"state":"open"' "$dir/health_open.out" \
   || fail "breaker must trip open after repeated checkpoint failures" \
        "$dir/health_open.out" "$dir/server.err"
 
+# the trip must be visible on the metrics endpoint as a gauge transition
+timeout 30 "$exe" metrics --remote "$sock" > "$dir/metrics_open.out" 2>&1 \
+  || fail "metrics scrape must work while the breaker is open" \
+       "$dir/metrics_open.out" "$dir/server.err"
+grep -q '^mdqa_server_breaker_state 1$' "$dir/metrics_open.out" \
+  || fail "open breaker must read as mdqa_server_breaker_state 1" \
+       "$dir/metrics_open.out"
+
 # heal the disk; after the cooldown a half-open probe must re-close it
 rmdir "$store"
 sleep 1.2
@@ -113,6 +121,17 @@ grep -q '"state":"closed"' "$dir/health_closed.out" \
   || fail "breaker must close again once the disk recovers" \
        "$dir/health_closed.out" "$dir/server.err"
 [ -f "$store" ] || fail "healed store must be re-snapshotted" "$dir/server.err"
+timeout 30 "$exe" metrics --remote "$sock" > "$dir/metrics_closed.out" 2>&1 \
+  || fail "metrics scrape must work after the breaker closes" \
+       "$dir/metrics_closed.out" "$dir/server.err"
+grep -q '^mdqa_server_breaker_state 0$' "$dir/metrics_closed.out" \
+  || fail "healed breaker must read as mdqa_server_breaker_state 0" \
+       "$dir/metrics_closed.out"
+trips=$(grep '^mdqa_server_breaker_trips ' "$dir/metrics_closed.out" \
+  | awk '{print $2}')
+[ "${trips:-0}" -ge 1 ] \
+  || fail "breaker trips gauge must record the open (got ${trips:-none})" \
+       "$dir/metrics_closed.out"
 
 # ------------------------------- malformed, oversized, slow-loris probes
 # malformed: an E024 reply, and the connection stays usable
@@ -196,6 +215,33 @@ if grep -Eq 'Fatal error|Raised at|Raised by' "$dir/server.err"; then
   fail "unhandled exception in server stderr during soak" "$dir/server.err"
 fi
 kill -0 "$pid" 2>/dev/null || fail "server died during soak" "$dir/server.err"
+
+# ----------------------------------------- metrics against ground truth
+# This server instance answered exactly 1 readiness ping, 60 burst
+# requests and 500 soak requests; the exposition renders before its own
+# reply is counted, so the per-status reply totals must sum to 561, the
+# shed counter must equal the overload replies the clients actually saw,
+# and nothing may have crashed.
+timeout 30 "$exe" metrics --remote "$sock" > "$dir/metrics_soak.out" 2>&1 \
+  || fail "metrics scrape must work after the soak" \
+       "$dir/metrics_soak.out" "$dir/server.err"
+answered=$(grep '^mdqa_server_replies_total' "$dir/metrics_soak.out" \
+  | awk '{s += $2} END {printf "%d", s}')
+[ "$answered" -eq 561 ] \
+  || fail "reply totals must sum to 1+60+500=561 (got $answered)" \
+       "$dir/metrics_soak.out"
+crashed=$(grep '^mdqa_server_crashed_total ' "$dir/metrics_soak.out" \
+  | awk '{print $2}')
+[ "${crashed:-0}" -eq 0 ] \
+  || fail "crashed-request counter must stay 0 (got $crashed)" \
+       "$dir/metrics_soak.out" "$dir/server.err"
+shed=$(grep '^mdqa_server_shed_total ' "$dir/metrics_soak.out" \
+  | awk '{print $2}')
+overloads=$(cat "$dir/burst.out" "$dir/soak.out" \
+  | grep -c '"degraded":"overload"')
+[ "${shed:-0}" -eq "$overloads" ] \
+  || fail "shed counter ($shed) must match overload replies ($overloads)" \
+       "$dir/metrics_soak.out"
 
 # --------------------------------------------------------- graceful drain
 kill -TERM "$pid"

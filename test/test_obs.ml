@@ -1,0 +1,330 @@
+(* Properties and unit tests for the telemetry subsystem (lib/obs).
+
+   The metrics registry's merge is the load-bearing algebra: snapshots
+   taken on different registries (per-run, per-service) must combine
+   associatively and commutatively without losing observations, or the
+   exposition lies.  The tracer's begin/end pairing must survive
+   exceptions, or nesting depths drift and exported traces are
+   malformed.  Both are checked with random inputs, alongside direct
+   tests of bucketing, exposition rendering, trace export and the
+   logger. *)
+
+module Metrics = Mdqa_obs.Metrics
+module Trace = Mdqa_obs.Trace
+module Logger = Mdqa_obs.Logger
+module Jsonl = Mdqa_server.Jsonl
+
+(* --- histogram properties -------------------------------------------- *)
+
+(* Integer-valued observations keep float sums exact, so count/sum
+   preservation can be checked with [=]. *)
+let obs_list_gen = QCheck.Gen.(list_size (int_bound 40) (int_bound 1000))
+
+let obs_list_arb =
+  QCheck.make ~print:QCheck.Print.(list int) obs_list_gen
+
+let snapshot_of obs =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~help:"test histogram" "test_seconds" in
+  List.iter (fun v -> Metrics.observe h (float_of_int v)) obs;
+  Metrics.snapshot m
+
+let histo snap =
+  match Metrics.find_histogram snap "test_seconds" with
+  | Some h -> h
+  | None -> { Metrics.hcount = 0; hsum = 0.; hbuckets = [] }
+
+let sum_int l = List.fold_left ( + ) 0 l
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"snapshot merge is commutative" ~count:200
+    (QCheck.pair obs_list_arb obs_list_arb) (fun (a, b) ->
+      Metrics.merge (snapshot_of a) (snapshot_of b)
+      = Metrics.merge (snapshot_of b) (snapshot_of a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"snapshot merge is associative" ~count:200
+    (QCheck.triple obs_list_arb obs_list_arb obs_list_arb) (fun (a, b, c) ->
+      let sa = snapshot_of a and sb = snapshot_of b and sc = snapshot_of c in
+      Metrics.merge (Metrics.merge sa sb) sc
+      = Metrics.merge sa (Metrics.merge sb sc))
+
+let prop_merge_preserves_count_sum =
+  QCheck.Test.make ~name:"merge preserves histogram count and sum" ~count:200
+    (QCheck.pair obs_list_arb obs_list_arb) (fun (a, b) ->
+      let h = histo (Metrics.merge (snapshot_of a) (snapshot_of b)) in
+      h.Metrics.hcount = List.length a + List.length b
+      && h.Metrics.hsum = float_of_int (sum_int a + sum_int b)
+      && sum_int (List.map snd h.Metrics.hbuckets) = h.Metrics.hcount)
+
+let prop_bucketing =
+  QCheck.Test.make ~name:"observations land in their log2 bucket" ~count:200
+    QCheck.(float_range 1e-9 1e12) (fun v ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "test_seconds" in
+      Metrics.observe h v;
+      let snap = Metrics.snapshot m in
+      match (histo snap).Metrics.hbuckets with
+      | [ (e, 1) ] ->
+        v < Metrics.bucket_upper e && v >= Metrics.bucket_upper e /. 2.
+      | _ -> false)
+
+(* --- counter properties ---------------------------------------------- *)
+
+let prop_counter_monotone =
+  QCheck.Test.make ~name:"counters only go up" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 30) (int_bound 100)) (fun incs ->
+      let m = Metrics.create () in
+      let c = Metrics.counter m "ups_total" in
+      List.for_all
+        (fun n ->
+          let before = Metrics.counter_value c in
+          Metrics.add c n;
+          Metrics.counter_value c = before + n)
+        incs)
+
+let test_counter_rejects_negative () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "t_total" in
+  Alcotest.check_raises "add -1 raises"
+    (Invalid_argument "Metrics.add: negative increment") (fun () ->
+      Metrics.add c (-1))
+
+let test_register_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  (match Metrics.gauge m "x" with
+  | _ -> Alcotest.fail "re-registering x as a gauge must raise"
+  | exception Invalid_argument _ -> ());
+  (* same name and kind is idempotent: both handles hit one cell *)
+  let c1 = Metrics.counter m "x" and c2 = Metrics.counter m "x" in
+  Metrics.inc c1;
+  Metrics.inc c2;
+  Alcotest.(check int) "shared cell" 2 (Metrics.counter_value c1)
+
+(* --- span nesting under exceptions ----------------------------------- *)
+
+exception Boom
+
+(* A random tree of spans, some of which raise: whatever happens, every
+   span closes (depth back to 0), every exported duration is >= 0, and
+   the event count equals the number of spans entered. *)
+let span_tree_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf = map (fun b -> `Leaf b) bool in
+        if n <= 0 then leaf
+        else
+          frequency
+            [ (1, leaf);
+              (2,
+               map2
+                 (fun raises kids -> `Node (raises, kids))
+                 bool
+                 (list_size (int_bound 3) (self (n / 2)))) ]))
+
+let rec span_count = function
+  | `Leaf _ -> 1
+  | `Node (_, kids) -> 1 + List.fold_left (fun a k -> a + span_count k) 0 kids
+
+let rec run_tree t =
+  match t with
+  | `Leaf raises ->
+    Trace.with_span "leaf" (fun () -> if raises then raise Boom)
+  | `Node (raises, kids) ->
+    Trace.with_span "node" (fun () ->
+        List.iter (fun k -> try run_tree k with Boom -> ()) kids;
+        if raises then raise Boom)
+
+let rec tree_print = function
+  | `Leaf b -> Printf.sprintf "L%b" b
+  | `Node (b, kids) ->
+    Printf.sprintf "N%b(%s)" b (String.concat "," (List.map tree_print kids))
+
+let prop_spans_survive_exceptions =
+  QCheck.Test.make ~name:"span begin/end pairs survive exceptions" ~count:200
+    (QCheck.make ~print:tree_print span_tree_gen) (fun tree ->
+      let tr = Trace.create () in
+      Trace.install tr;
+      Fun.protect ~finally:Trace.uninstall (fun () ->
+          (try run_tree tree with Boom -> ());
+          Trace.depth tr = 0
+          && List.length (Trace.events tr) = span_count tree
+          && List.for_all
+               (fun e -> e.Trace.dur >= 0. && e.Trace.depth >= 1)
+               (Trace.events tr)))
+
+(* --- trace export ----------------------------------------------------- *)
+
+let test_export_is_valid_json () =
+  let now = ref 0. in
+  let clock () =
+    now := !now +. 0.001;
+    !now
+  in
+  let tr = Trace.create ~clock () in
+  Trace.install tr;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      Trace.with_span "outer" ~attrs:[ ("k", "v \"quoted\"") ] (fun () ->
+          Trace.with_span "inner" (fun () -> ());
+          Trace.instant "mark"));
+  match Jsonl.parse (Trace.export_json tr) with
+  | Error e -> Alcotest.failf "export does not parse: %s" e
+  | Ok json ->
+    let events =
+      match Option.bind (Jsonl.member "traceEvents" json) Jsonl.to_list with
+      | Some evs -> evs
+      | None -> Alcotest.fail "no traceEvents"
+    in
+    Alcotest.(check int) "three events" 3 (List.length events);
+    List.iter
+      (fun ev ->
+        Alcotest.(check bool) "has name" true (Jsonl.str_field "name" ev <> None);
+        Alcotest.(check bool) "has ts" true (Jsonl.num_field "ts" ev <> None);
+        match Jsonl.str_field "ph" ev with
+        | Some "X" ->
+          Alcotest.(check bool) "X has dur" true
+            (match Jsonl.num_field "dur" ev with
+            | Some d -> d >= 0.
+            | None -> false)
+        | Some "i" -> ()
+        | other ->
+          Alcotest.failf "unexpected ph %s" (Option.value ~default:"-" other))
+      events
+
+let test_ring_buffer_drops_oldest () =
+  let tr = Trace.create ~capacity:4 () in
+  Trace.install tr;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      for i = 1 to 10 do
+        Trace.with_span (string_of_int i) (fun () -> ())
+      done);
+  let names = List.map (fun e -> e.Trace.name) (Trace.events tr) in
+  Alcotest.(check (list string)) "keeps the newest" [ "7"; "8"; "9"; "10" ]
+    names;
+  Alcotest.(check int) "counts the dropped" 6 (Trace.dropped tr)
+
+(* --- prometheus exposition -------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  let c =
+    Metrics.counter m ~help:"requests" ~labels:[ ("kind", "query") ]
+      "req_total"
+  in
+  Metrics.add c 3;
+  Metrics.set (Metrics.gauge m ~help:"queue depth" "depth") 2.5;
+  let h = Metrics.histogram m ~help:"latency" "lat_seconds" in
+  Metrics.observe h 0.75;
+  Metrics.observe h 3.;
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "exposition has %S" line) true
+        (contains text line))
+    [ "# TYPE req_total counter";
+      "# HELP req_total requests";
+      "req_total{kind=\"query\"} 3";
+      "depth 2.5";
+      "# TYPE lat_seconds histogram";
+      "lat_seconds_count 2";
+      "lat_seconds_sum 3.75";
+      "+Inf\"} 2" ]
+
+(* --- logger ------------------------------------------------------------ *)
+
+let with_captured_logger f =
+  let buf = Buffer.create 256 in
+  Logger.set_output (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
+  Logger.set_clock (fun () -> 1754000000.5);
+  Fun.protect
+    ~finally:(fun () ->
+      Logger.set_level Logger.Info;
+      Logger.set_json false;
+      Logger.set_clock Unix.gettimeofday;
+      Logger.set_output (fun line ->
+          prerr_string line;
+          prerr_newline ();
+          flush stderr))
+    (fun () -> f buf)
+
+let test_logger_json_and_levels () =
+  with_captured_logger @@ fun buf ->
+  Logger.set_json true;
+  Logger.set_level Logger.Info;
+  Logger.debug "suppressed";
+  Logger.info
+    ~fields:
+      [ ("n", Logger.Int 7); ("f", Logger.Float 1.5);
+        ("ok", Logger.Bool true); ("s", Logger.Str "a \"b\"") ]
+    "served";
+  let lines =
+    String.split_on_char '\n' (String.trim (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one record (debug suppressed)" 1 (List.length lines);
+  match Jsonl.parse (List.hd lines) with
+  | Error e -> Alcotest.failf "JSONL record does not parse: %s" e
+  | Ok json ->
+    Alcotest.(check (option string)) "level" (Some "info")
+      (Jsonl.str_field "level" json);
+    Alcotest.(check (option string)) "msg" (Some "served")
+      (Jsonl.str_field "msg" json);
+    Alcotest.(check (option string)) "string field" (Some "a \"b\"")
+      (Jsonl.str_field "s" json);
+    Alcotest.(check bool) "ts is ISO8601 UTC" true
+      (match Jsonl.str_field "ts" json with
+      | Some ts ->
+        String.length ts = 24
+        && ts.[4] = '-' && ts.[10] = 'T' && ts.[23] = 'Z'
+      | None -> false)
+
+let test_logger_text_format () =
+  with_captured_logger @@ fun buf ->
+  Logger.set_level Logger.Warn;
+  Logger.info "suppressed";
+  Logger.warn ~fields:[ ("addr", Logger.Str "a b") ] "listening";
+  let line = String.trim (Buffer.contents buf) in
+  Alcotest.(check bool) "has level" true (contains line " warn ");
+  Alcotest.(check bool) "has message" true (contains line "listening");
+  Alcotest.(check bool) "quotes spaced values" true
+    (contains line "addr=\"a b\"")
+
+let test_level_of_string () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) s true (Logger.level_of_string s = expect))
+    [ ("debug", Some Logger.Debug); ("warning", Some Logger.Warn);
+      ("ERROR", Some Logger.Error); ("loud", None) ]
+
+(* ---------------------------------------------------------------------- *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let props = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [ ( "obs.metrics",
+      props
+        [ prop_merge_commutative; prop_merge_associative;
+          prop_merge_preserves_count_sum; prop_bucketing;
+          prop_counter_monotone ]
+      @ [ case "add rejects negative" test_counter_rejects_negative;
+          case "registration kind clash" test_register_kind_clash;
+          case "prometheus exposition" test_prometheus_exposition ] );
+    ( "obs.trace",
+      props [ prop_spans_survive_exceptions ]
+      @ [ case "export is valid trace JSON" test_export_is_valid_json;
+          case "ring buffer drops oldest" test_ring_buffer_drops_oldest ] );
+    ( "obs.logger",
+      [ case "JSONL records and level filtering" test_logger_json_and_levels;
+        case "text format" test_logger_text_format;
+        case "level parsing" test_level_of_string ] ) ]
