@@ -748,20 +748,17 @@ let report_store () =
    socket; the parent is the real retrying client. *)
 
 let report_serve () =
-  banner "Serve - warm-service request latency and graceful drain";
+  banner "Serve - concurrent-client throughput, inline vs worker pool";
   let module Service = Mdqa_server.Service in
   let module Server = Mdqa_server.Server in
   let module Sclient = Mdqa_server.Client in
   let module Sproto = Mdqa_server.Protocol in
-  let n_facts = 400 and n_requests = 200 in
+  let n_facts = 400 and n_clients = 8 and per_client = 100 in
+  let n_requests = n_clients * per_client in
   let program_file = Filename.temp_file "mdqa_serve_bench" ".dl" in
-  let sock = Filename.temp_file "mdqa_serve_bench" ".sock" in
-  Sys.remove sock;
   Fun.protect
     ~finally:(fun () ->
-      List.iter
-        (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ program_file; sock ])
+      if Sys.file_exists program_file then Sys.remove program_file)
   @@ fun () ->
   let oc = open_out program_file in
   for i = 1 to n_facts do
@@ -770,67 +767,153 @@ let report_serve () =
   output_string oc "linked(X, Y) :- edge(X, Y).\n";
   output_string oc "linked(X, Z) :- edge(X, Y), edge(Y, Z).\n";
   close_out oc;
-  (* don't let the child flush an inherited copy of our stdout buffer *)
-  flush stdout;
-  flush stderr;
-  match Unix.fork () with
-  | 0 ->
-    (* child: the server owns the terminal of its own fate *)
-    Stdlib.exit
-      (match Service.load ~program_file () with
-       | Error _ -> 1
-       | Ok svc ->
-         Server.run (Server.default_config (Server.Unix_path sock)) svc)
-  | pid ->
-    let client = Sclient.create ~addr:sock () in
-    (match Sclient.ping client with
-     | Error e -> Printf.printf "serve bench: server never came up: %s\n" e
-     | Ok _ ->
-       let request =
-         {|{"kind":"query","query":"q(X, Z) :- linked(X, Z)","engine":"chase"}|}
-       in
-       let lats = Array.make n_requests 0. in
-       let t0 = Unix.gettimeofday () in
-       let complete = ref 0 in
-       for i = 0 to n_requests - 1 do
-         let s = Unix.gettimeofday () in
-         (match Sclient.roundtrip client request with
-          | Ok r when r.Sproto.status = "complete" -> incr complete
-          | Ok _ | Error _ -> ());
-         lats.(i) <- Unix.gettimeofday () -. s
-       done;
-       let wall = Unix.gettimeofday () -. t0 in
-       Array.sort compare lats;
-       let pct p =
-         lats.(min (n_requests - 1)
-                 (int_of_float (ceil (p *. float_of_int n_requests /. 100.)) - 1))
-       in
-       let p50 = pct 50. and p95 = pct 95. and p99 = pct 99. in
-       let throughput = float_of_int n_requests /. wall in
-       Printf.printf
-         "%d requests: p50 %.5fs  p95 %.5fs  p99 %.5fs  %.0f req/s  \
-          (%d complete)\n"
-         n_requests p50 p95 p99 throughput !complete;
-       verify "every serve-bench request answered complete"
-         (!complete = n_requests);
-       let json =
-         Printf.sprintf
-           "{\n  \"experiment\": \"serve\",\n  \"description\": \"request \
-            latency against a warm mdqa serve over a Unix socket\",\n  \
-            \"requests\": %d,\n  \"p50_s\": %.6f,\n  \"p95_s\": %.6f,\n  \
-            \"p99_s\": %.6f,\n  \"throughput_rps\": %.1f,\n  \
-            \"client_retries\": %d\n}\n"
-           n_requests p50 p95 p99 throughput (Sclient.retries client)
-       in
-       let oc = open_out "BENCH_serve.json" in
-       output_string oc json;
-       close_out oc;
-       Printf.printf "\nBENCH_serve.json written\n");
-    Sclient.close client;
-    Unix.kill pid Sys.sigterm;
-    let _, wstatus = Unix.waitpid [] pid in
-    verify "serve drains to exit 0 on SIGTERM"
-      (wstatus = Unix.WEXITED 0)
+  let request =
+    {|{"kind":"query","query":"q(X, Z) :- linked(X, Z)","engine":"chase"}|}
+  in
+  (* One measured configuration: a forked server (workers as given),
+     [n_clients] forked clients hammering it concurrently — a single
+     sequential client can never expose pool parallelism — and a
+     graceful-drain check on the way down. *)
+  let run_config ~label ~workers =
+    let sock = Filename.temp_file "mdqa_serve_bench" ".sock" in
+    Sys.remove sock;
+    let lat_files =
+      List.init n_clients (fun i ->
+          Filename.temp_file (Printf.sprintf "mdqa_serve_lat%d" i) ".txt")
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          (sock :: lat_files))
+    @@ fun () ->
+    (* don't let children flush inherited copies of our stdout buffer *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Stdlib.exit
+        (match Service.load ~program_file () with
+         | Error _ -> 1
+         | Ok svc ->
+           let cfg =
+             { (Server.default_config (Server.Unix_path sock)) with
+               Server.workers;
+               watchdog = Some 30. }
+           in
+           Server.run cfg svc)
+    | server_pid ->
+      let probe = Sclient.create ~addr:sock () in
+      let up = Sclient.ping probe in
+      Sclient.close probe;
+      (match up with
+       | Error e ->
+         Printf.printf "serve bench (%s): server never came up: %s\n" label e;
+         verify (Printf.sprintf "serve bench %s server came up" label) false;
+         Unix.kill server_pid Sys.sigkill;
+         ignore (Unix.waitpid [] server_pid);
+         (0., 0., 0., 0., 0)
+       | Ok _ ->
+         let t0 = Unix.gettimeofday () in
+         let client_pids =
+           List.map
+             (fun lat_file ->
+               flush stdout;
+               flush stderr;
+               match Unix.fork () with
+               | 0 ->
+                 let oc = open_out lat_file in
+                 let client = Sclient.create ~addr:sock () in
+                 for _ = 1 to per_client do
+                   let s = Unix.gettimeofday () in
+                   let ok =
+                     match Sclient.roundtrip client request with
+                     | Ok r when r.Sproto.status = "complete" -> 1
+                     | Ok _ | Error _ -> 0
+                   in
+                   Printf.fprintf oc "%.9f %d\n"
+                     (Unix.gettimeofday () -. s)
+                     ok
+                 done;
+                 Sclient.close client;
+                 close_out oc;
+                 Unix._exit 0
+               | pid -> pid)
+             lat_files
+         in
+         List.iter (fun pid -> ignore (Unix.waitpid [] pid)) client_pids;
+         let wall = Unix.gettimeofday () -. t0 in
+         let lats = ref [] and complete = ref 0 in
+         List.iter
+           (fun lat_file ->
+             let ic = open_in lat_file in
+             (try
+                while true do
+                  Scanf.sscanf (input_line ic) "%f %d" (fun l ok ->
+                      lats := l :: !lats;
+                      complete := !complete + ok)
+                done
+              with End_of_file | Scanf.Scan_failure _ -> ());
+             close_in ic)
+           lat_files;
+         let lats = Array.of_list !lats in
+         Array.sort compare lats;
+         let n = Array.length lats in
+         let pct p =
+           if n = 0 then 0.
+           else
+             lats.(min (n - 1)
+                     (int_of_float (ceil (p *. float_of_int n /. 100.)) - 1))
+         in
+         let p50 = pct 50. and p95 = pct 95. and p99 = pct 99. in
+         let throughput = float_of_int n_requests /. wall in
+         Printf.printf
+           "%-12s %4d reqs x %d clients: p50 %.5fs  p95 %.5fs  p99 %.5fs  \
+            %6.0f req/s  (%d complete)\n"
+           label n_requests n_clients p50 p95 p99 throughput !complete;
+         verify
+           (Printf.sprintf "every serve-bench request answered complete (%s)"
+              label)
+           (!complete = n_requests);
+         Unix.kill server_pid Sys.sigterm;
+         let _, wstatus = Unix.waitpid [] server_pid in
+         verify
+           (Printf.sprintf "serve (%s) drains to exit 0 on SIGTERM" label)
+           (wstatus = Unix.WEXITED 0);
+         (p50, p95, p99, throughput, !complete))
+  in
+  let p50_0, p95_0, p99_0, tp_0, _ = run_config ~label:"workers=0" ~workers:0 in
+  let p50_4, p95_4, p99_4, tp_4, _ = run_config ~label:"workers=4" ~workers:4 in
+  let speedup = if tp_0 > 0. then tp_4 /. tp_0 else 0. in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "\npool speedup: %.2fx on %d cores\n" speedup cores;
+  if cores >= 4 then
+    verify "worker pool at least doubles concurrent throughput"
+      (speedup >= 2.0)
+  else
+    Printf.printf
+      "(speedup target not enforced: only %d cores available)\n" cores;
+  let row ~label ~workers p50 p95 p99 tp =
+    Printf.sprintf
+      "    {\"config\": %S, \"workers\": %d, \"requests\": %d, \
+       \"clients\": %d, \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f, \
+       \"throughput_rps\": %.1f}"
+      label workers n_requests n_clients p50 p95 p99 tp
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"serve\",\n  \"description\": \"concurrent \
+       request throughput against warm mdqa serve over a Unix socket, \
+       inline vs supervised worker pool\",\n  \"cores\": %d,\n  \
+       \"pool_speedup\": %.4f,\n  \"rows\": [\n%s,\n%s\n  ]\n}\n"
+      cores speedup
+      (row ~label:"workers=0" ~workers:0 p50_0 p95_0 p99_0 tp_0)
+      (row ~label:"workers=4" ~workers:4 p50_4 p95_4 p99_4 tp_4)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nBENCH_serve.json written\n"
 
 (* Tracer overhead budget: the C3 chase with a tracer installed (every
    round and rule firing emitting a span) must stay within 2% of the

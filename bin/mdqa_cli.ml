@@ -47,6 +47,7 @@ module Backoff = Mdqa_server.Backoff
 module Fdio = Mdqa_server.Fdio
 module Logger = Mdqa_obs.Logger
 module Trace = Mdqa_obs.Trace
+module Failpoint = Mdqa_obs.Failpoint
 
 let exit_complete = 0
 let exit_error = 1
@@ -1011,12 +1012,61 @@ let drain_grace_arg =
           "On SIGTERM/SIGINT: seconds to finish queued requests before \
            the rest are answered degraded:drain and the server exits.")
 
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Answer queries from a supervised pool of $(docv) forked \
+           workers sharing the warm fixpoint copy-on-write.  A crashed \
+           worker costs one E029 reply and a backed-off restart; 0 \
+           (the default) answers inline, single-process.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "watchdog" ] ~docv:"SEC"
+        ~doc:
+          "Per-request hang deadline for workers: one exceeding it is \
+           SIGKILLed and its client answered degraded (W049).  Only \
+           meaningful with --workers.")
+
+let min_ready_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "min-ready" ] ~docv:"N"
+        ~doc:
+          "Live workers required to accept queries; below it queued \
+           queries are refused with H054 instead of waiting on a dead \
+           pool.")
+
+let worker_max_requests_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "worker-max-requests" ] ~docv:"N"
+        ~doc:
+          "Recycle a worker after it has answered $(docv) requests \
+           (bounds leak accumulation; 0 disables).")
+
+let worker_max_heap_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "worker-max-heap" ] ~docv:"MB"
+        ~doc:"Recycle a worker whose heap exceeds $(docv) MiB (0 disables).")
+
 let run_serve file socket port host store max_queue read_timeout
     request_timeout request_max_steps max_request_bytes checkpoint_every
-    drain_grace max_steps max_nulls max_checkpoint_bytes verbose log_level
-    log_json =
+    drain_grace workers watchdog min_ready worker_max_requests
+    worker_max_heap_mb max_steps max_nulls max_checkpoint_bytes verbose
+    log_level log_json =
   run_protected @@ fun () ->
   setup_logging ~log_json ?log_level verbose;
+  (* Deterministic fault injection for the chaos harness: scripted
+     crash/hang/exit at named sites, armed only via the environment. *)
+  (match Failpoint.arm_env () with
+  | Ok () -> ()
+  | Error msg -> fatal ~code:"E024" "MDQA_FAILPOINTS: %s" msg);
   (* A modest always-on tracer backs the protocol's "spans" request:
      the last few thousand spans of live behaviour, introspectable
      without restarting the server. *)
@@ -1035,6 +1085,7 @@ let run_serve file socket port host store max_queue read_timeout
     report_error_diags diags;
     raise Fatal_diags
   | Ok svc ->
+    Failpoint.attach_metrics (Service.metrics svc);
     let cfg =
       { Server.addr;
         max_queue;
@@ -1044,7 +1095,12 @@ let run_serve file socket port host store max_queue read_timeout
         max_request_bytes;
         request_timeout;
         request_max_steps;
-        drain_grace }
+        drain_grace;
+        workers;
+        watchdog;
+        min_ready;
+        worker_max_requests;
+        worker_max_heap_mb }
     in
     Server.run cfg svc
 
@@ -1063,8 +1119,10 @@ let serve_cmd =
       const run_serve $ serve_file_arg $ socket_arg $ port_arg $ host_arg
       $ serve_store_arg $ max_queue_arg $ serve_read_timeout_arg
       $ request_timeout_arg $ request_max_steps_arg $ max_request_bytes_arg
-      $ checkpoint_every_arg $ drain_grace_arg $ max_steps_arg $ max_nulls_arg
-      $ max_checkpoint_bytes_arg $ verbose_arg $ log_level_arg $ log_json_arg)
+      $ checkpoint_every_arg $ drain_grace_arg $ workers_arg $ watchdog_arg
+      $ min_ready_arg $ worker_max_requests_arg $ worker_max_heap_arg
+      $ max_steps_arg $ max_nulls_arg $ max_checkpoint_bytes_arg $ verbose_arg
+      $ log_level_arg $ log_json_arg)
 
 (* --- remote: raw line client (the chaos harness's scalpel) ----------- *)
 

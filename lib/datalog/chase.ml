@@ -364,6 +364,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
            new_facts
        | None -> ());
       while !continue do
+        Mdqa_obs.Failpoint.hit "chase.round";
         Metrics.inc c_rounds;
         let round_no = Metrics.counter_value c_rounds - base_rounds in
         Log.debug (fun m ->

@@ -32,6 +32,7 @@ let registry =
     ("E026", "request-timeout");
     ("E027", "request-crashed");
     ("E028", "repair-failed");
+    ("E029", "worker-crashed");
     ("W040", "undefined-predicate");
     ("W041", "not-weakly-sticky");
     ("W042", "quality-version-undefined");
@@ -41,10 +42,12 @@ let registry =
     ("W046", "store-truncated");
     ("W047", "overload-shed");
     ("W048", "breaker-open");
+    ("W049", "watchdog-kill");
     ("H050", "qa-path");
     ("H051", "unused-map-target");
     ("H052", "stale-checkpoint-temp");
-    ("H053", "server-drain") ]
+    ("H053", "server-drain");
+    ("H054", "workers-unavailable") ]
 
 let describe code = List.assoc_opt code registry
 let codes = registry

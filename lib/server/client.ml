@@ -7,6 +7,8 @@ type t = {
   mutable fd : Unix.file_descr option;
   ibuf : Buffer.t;
   mutable retries : int;
+  mutable retried_total : int;
+      (** roundtrips that needed at least one retry *)
 }
 
 let parse_addr s =
@@ -26,7 +28,8 @@ let create ?(policy = Backoff.default_policy) ?(rand = Random.float) ~addr () =
     rand;
     fd = None;
     ibuf = Buffer.create 256;
-    retries = 0 }
+    retries = 0;
+    retried_total = 0 }
 
 let disconnect t =
   (match t.fd with
@@ -37,6 +40,19 @@ let disconnect t =
 
 let close = disconnect
 let retries t = t.retries
+let retried_total t = t.retried_total
+
+(* Which parsed replies are worth retrying.  An overload shed always
+   is (the server said "come back later").  An E029 — the request died
+   with its worker — is a server-side fault that a fresh worker will
+   almost surely not repeat, but re-sending is only safe when the
+   request is idempotent; queries are, so the caller says so. *)
+let should_retry_reply ~idempotent (r : Protocol.reply) =
+  if r.Protocol.status = "degraded" && r.Protocol.reason = Some "overload"
+  then Some "server overloaded"
+  else if idempotent && r.Protocol.code = Some "E029" then
+    Some "worker crashed mid-request"
+  else None
 
 let connect_fd = function
   | Unix_path path -> (
@@ -92,7 +108,7 @@ let read_reply t fd =
   in
   go ()
 
-let roundtrip t line =
+let roundtrip ?(idempotent = true) t line =
   let bo = Backoff.start t.policy in
   let rec attempt () =
     let outcome =
@@ -107,18 +123,23 @@ let roundtrip t line =
           match read_reply t fd with
           | Error e ->
             disconnect t;
-            `Transient e
+            (* the request reached the server but its reply was lost
+               (ECONNRESET, EOF mid-reply): it may have executed, so
+               only an idempotent request may be re-sent *)
+            if idempotent then `Transient e
+            else `Permanent (Error (Printf.sprintf "reply lost (%s)" e))
           | Ok reply_line -> (
             match Protocol.parse_reply reply_line with
             | Error e -> `Permanent (Error e)
-            | Ok r
-              when r.Protocol.status = "degraded"
-                   && r.Protocol.reason = Some "overload" ->
-              `Transient "server overloaded"
-            | Ok r -> `Permanent (Ok r))))
+            | Ok r -> (
+              match should_retry_reply ~idempotent r with
+              | Some why -> `Transient why
+              | None -> `Permanent (Ok r)))))
     in
     match outcome with
-    | `Permanent r -> r
+    | `Permanent r ->
+      if Backoff.attempts bo > 0 then t.retried_total <- t.retried_total + 1;
+      r
     | `Transient why -> (
       match Backoff.next bo ~rand:t.rand with
       | Some d ->
@@ -126,6 +147,7 @@ let roundtrip t line =
         Fdio.sleepf d;
         attempt ()
       | None ->
+        if Backoff.attempts bo > 0 then t.retried_total <- t.retried_total + 1;
         Error
           (Printf.sprintf "retry budget exhausted after %d attempts (last: %s)"
              (Backoff.attempts bo) why))

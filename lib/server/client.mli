@@ -20,19 +20,38 @@ val create :
     the last [:] parses as a port and the string contains no [/].
     No connection is made until the first {!roundtrip}. *)
 
-val roundtrip : t -> string -> (Protocol.reply, string) result
+val roundtrip :
+  ?idempotent:bool -> t -> string -> (Protocol.reply, string) result
 (** Send one request line (newline appended) and read one reply line,
     (re)connecting and retrying transient failures under the policy.
-    [Ok] is any parsed reply that is not an overload shed — including
+    [Ok] is any parsed reply that is not retryable — including
     [status = "error"] replies, which are the server speaking, not a
     transport failure.  [Error] means the retry budget ran out or the
-    server answered with something unparseable. *)
+    server answered with something unparseable.
+
+    [idempotent] (default [true]: every request in the protocol is a
+    read) additionally allows transparent re-sends when the reply was
+    lost mid-read (ECONNRESET / EOF) or the server answered E029 (the
+    request died with its worker — a fresh worker will answer).  With
+    [~idempotent:false] a lost reply is a permanent error, since the
+    request may already have executed. *)
+
+val should_retry_reply :
+  idempotent:bool -> Protocol.reply -> string option
+(** The reply-classification half of the retry decision, exposed pure
+    for tests: [Some reason] when a parsed reply should be retried
+    (overload shed always; E029 only when idempotent). *)
 
 val ping : t -> (Protocol.reply, string) result
 (** [roundtrip {"kind":"ping"}] — readiness probing. *)
 
 val retries : t -> int
 (** Total retries taken over the life of this client. *)
+
+val retried_total : t -> int
+(** Roundtrips that needed at least one retry before resolving (in
+    either direction) — the "how often was the first attempt not
+    enough" number, vs {!retries} which counts every extra attempt. *)
 
 val close : t -> unit
 (** Drop the connection (idempotent); the next roundtrip reconnects. *)

@@ -1,3 +1,8 @@
+(* All deadlines here are absolute times on the Guard's monotonic
+   clock: an NTP step must never spuriously expire (or extend) a write
+   deadline or a select timeout.  Wall time is only for humans. *)
+module Clock = Mdqa_datalog.Guard.Clock
+
 let ignore_sigpipe () =
   (* Windows has no SIGPIPE; everything this library targets does. *)
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -6,13 +11,29 @@ let ignore_sigpipe () =
 let set_nonblock fd = Unix.set_nonblock fd
 
 let sleepf duration =
-  let until = Unix.gettimeofday () +. duration in
+  let until = Clock.now () +. duration in
   let rec go () =
-    let remaining = until -. Unix.gettimeofday () in
+    let remaining = until -. Clock.now () in
     if remaining > 0. then
       match Unix.sleepf remaining with
       | () -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* One select over read fds that survives EINTR: with SIGCHLD arriving
+   routinely from the worker pool, a signal mid-select retries with the
+   timeout recomputed against the monotonic deadline instead of
+   surfacing [Unix_error (EINTR, _, _)] to the event loop. *)
+let select_read fds ~timeout =
+  let deadline = Clock.now () +. Float.max 0. timeout in
+  let rec go () =
+    let remaining = Float.max 0. (deadline -. Clock.now ()) in
+    match Unix.select fds [] [] remaining with
+    | ready, _, _ -> Ok ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Clock.now () >= deadline then Ok [] else go ()
+    | exception Unix.Unix_error (e, _, _) -> Error e
   in
   go ()
 
@@ -23,7 +44,7 @@ let wait_writable fd deadline =
       match deadline with
       | None -> 1.0
       | Some d ->
-        let remaining = d -. Unix.gettimeofday () in
+        let remaining = d -. Clock.now () in
         if remaining <= 0. then -1.0 else remaining
     in
     if timeout < 0. then `Timeout
@@ -64,3 +85,19 @@ let read_available fd ~max =
     | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
   in
   go ()
+
+(* Blocking read of exactly [n] bytes; [None] on EOF at a record
+   boundary, [Error] mid-record.  EINTR retries. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok (Bytes.to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then Error `Eof else Error (`Torn off)
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (`Unix (Unix.error_message e))
+  in
+  go 0

@@ -1,10 +1,14 @@
 (** Signal-safe, deadline-bounded socket I/O.
 
     Every syscall a long-running server makes must survive two things
-    the one-shot CLI never sees: EINTR (a drain signal landing
-    mid-write) and EPIPE/ECONNRESET (a client disconnecting mid-reply).
-    These helpers retry the former and surface the latter as values,
-    so neither can kill the accept loop or tear a frame. *)
+    the one-shot CLI never sees: EINTR (a drain signal or SIGCHLD
+    landing mid-call) and EPIPE/ECONNRESET (a client disconnecting
+    mid-reply).  These helpers retry the former and surface the latter
+    as values, so neither can kill the accept loop or tear a frame.
+
+    All deadlines are absolute times on [Guard.Clock] — the process's
+    monotonic clock — never wall time, so an NTP step cannot expire a
+    write early or stall a select. *)
 
 val ignore_sigpipe : unit -> unit
 (** Install [Signal_ignore] for SIGPIPE (idempotent).  Without it a
@@ -12,12 +16,21 @@ val ignore_sigpipe : unit -> unit
     with it the write fails with [EPIPE], which {!write_all} reports
     as a value. *)
 
+val select_read :
+  Unix.file_descr list ->
+  timeout:float ->
+  (Unix.file_descr list, Unix.error) result
+(** [select] on read fds that survives EINTR: retried with the timeout
+    recomputed against the original monotonic deadline, so a SIGCHLD
+    storm from the worker pool cannot spin the event loop or surface
+    [EINTR] to it.  [Ok []] on timeout. *)
+
 val write_all :
   ?deadline:float -> Unix.file_descr -> string -> (unit, string) result
 (** Write the whole string: short writes resume, EINTR retries,
     EAGAIN waits (via [select]) until [deadline] (absolute
-    [Unix.gettimeofday] time; no deadline when omitted).  A closed
-    peer, a timeout or any other socket error is an [Error] — never an
+    [Guard.Clock] time; no deadline when omitted).  A closed peer, a
+    timeout or any other socket error is an [Error] — never an
     exception. *)
 
 val read_available : Unix.file_descr -> max:int -> [
@@ -28,7 +41,16 @@ val read_available : Unix.file_descr -> max:int -> [
 ]
 (** One nonblocking read.  EINTR retries internally. *)
 
+val read_exact :
+  Unix.file_descr ->
+  int ->
+  (string, [ `Eof | `Torn of int | `Unix of string ]) result
+(** Blocking read of exactly [n] bytes.  [`Eof] when the peer closed at
+    a record boundary (zero bytes read), [`Torn got] when it closed
+    mid-record, EINTR retries.  Worker children use this to block on
+    their request pipe. *)
+
 val set_nonblock : Unix.file_descr -> unit
 val sleepf : float -> unit
 (** [Unix.sleepf] that resumes after EINTR until the full duration has
-    elapsed. *)
+    elapsed (measured on the monotonic clock). *)

@@ -16,6 +16,11 @@ type config = {
   request_timeout : float option;
   request_max_steps : int option;
   drain_grace : float;
+  workers : int;  (** 0 = answer queries inline (no forked pool) *)
+  watchdog : float option;  (** per-request hang deadline for workers *)
+  min_ready : int;  (** below this many live workers, shed with H054 *)
+  worker_max_requests : int;  (** recycle a worker after this many; 0 = off *)
+  worker_max_heap_mb : float;  (** recycle past this heap size; 0 = off *)
 }
 
 let default_config addr =
@@ -27,7 +32,12 @@ let default_config addr =
     max_request_bytes = 1 lsl 20;
     request_timeout = None;
     request_max_steps = None;
-    drain_grace = 5. }
+    drain_grace = 5.;
+    workers = 0;
+    watchdog = None;
+    min_ready = 1;
+    worker_max_requests = 10_000;
+    worker_max_heap_mb = 0. }
 
 type conn = {
   fd : Unix.file_descr;
@@ -42,15 +52,21 @@ type state = {
   cfg : config;
   svc : Service.t;
   mutable conns : conn list;
-  queue : (conn * Protocol.request) Admission.t;
+  queue : (conn * Protocol.request * string) Admission.t;
+      (** the raw line rides along: a dispatched request crosses the
+          worker pipe verbatim *)
+  mutable sup : Supervisor.t option;
   mutable draining : bool;
   mutable drain_deadline : float;
   mutable degraded_events : int;
-      (** requests degraded for server reasons (drain), not budget *)
+      (** requests degraded for server reasons (drain, dead pool), not
+          budget *)
   mutable crashed : int;
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: deadlines (drain, write, slow-loris, watchdog) must not
+   move when NTP steps the wall clock.  Wall time is only for logs. *)
+let now () = Guard.Clock.now ()
 
 let addr_string = function
   | Unix_path p -> p
@@ -93,6 +109,9 @@ let count_shed st =
        ~help:"requests or connections shed under overload"
        "mdqa_server_shed_total")
 
+let worker_defaults cfg =
+  { Worker.timeout = cfg.request_timeout; max_steps = cfg.request_max_steps }
+
 (* --- socket setup ----------------------------------------------------- *)
 
 let listen_socket = function
@@ -134,6 +153,7 @@ let server_fields st =
      Jsonl.Num (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns))));
     ("crashed_requests", Jsonl.Num (float_of_int st.crashed));
     ("draining", Jsonl.Bool st.draining) ]
+  @ match st.sup with Some s -> Supervisor.health_fields s | None -> []
 
 (* Refresh scrape-time gauges and render the Prometheus exposition.
    The reply counter for the metrics request itself is bumped after
@@ -152,6 +172,9 @@ let exposition st =
     (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns)));
   set "mdqa_server_draining" "1 while the server drains"
     (if st.draining then 1. else 0.);
+  (match st.sup with
+  | Some s -> Supervisor.record_metrics s m
+  | None -> ());
   Metrics.to_prometheus (Metrics.snapshot m)
 
 let spans_json () =
@@ -203,33 +226,10 @@ let answer st conn req =
           [ ("spans", spans_json ()) ],
         "complete",
         None )
-    | Protocol.Query { query; engine; timeout; max_steps; _ } -> (
-      let timeout =
-        match timeout with Some _ -> timeout | None -> st.cfg.request_timeout
-      in
-      let max_steps =
-        match max_steps with
-        | Some _ -> max_steps
-        | None -> st.cfg.request_max_steps
-      in
-      match Service.query st.svc ?timeout ?max_steps ~engine query with
-      | Service.Answers a ->
-        (Protocol.complete_reply ?id ~answers:(Some a) (), "complete", None)
-      | Service.Partial (a, e) ->
-        ( Protocol.degraded_reply ?id
-            ~reason:(Protocol.exhaustion_reason e)
-            ~answers:(Some a)
-            ~message:(Format.asprintf "%a" Guard.pp_exhaustion e)
-            (),
-          "degraded",
-          None )
-      | Service.Bad_query d ->
-        (Protocol.error_reply ?id d, "error", Some d.Diag.code)
-      | Service.Inconsistent msg ->
-        ( Protocol.obj_reply ?id ~status:"error"
-            [ ("inconsistent", Jsonl.Bool true); ("message", Jsonl.Str msg) ],
-          "error",
-          None ))
+    | Protocol.Query _ ->
+      (* the same code path a forked worker runs, so a reply is
+         byte-identical with or without the pool *)
+      Worker.answer_query ~svc:st.svc ~defaults:(worker_defaults st.cfg) req
   in
   let reply, status, code =
     match reply with
@@ -298,7 +298,7 @@ let handle_line st conn line =
              ~code:"H053" ~reason:"drain" ~answers:None
              ~message:"server is draining; retry against a fresh instance"
              ()))
-      else if not (Admission.offer st.queue (conn, req)) then (
+      else if not (Admission.offer st.queue (conn, req, line)) then (
         count_shed st;
         send_reply st conn ~status:"degraded" ~code:"W047"
           (Protocol.degraded_reply
@@ -397,20 +397,95 @@ let rec accept_loop st lfd =
     else st.conns <- c :: st.conns;
     accept_loop st lfd
 
+(* --- dispatch to the pool --------------------------------------------- *)
+
+(* The reply closure the supervisor invokes when the worker's frame
+   (or its obituary) comes back: same accounting as an inline answer —
+   reply counters via [send_reply], periodic checkpoints via
+   [request_served], the latency histogram (measured dispatch-to-reply
+   here) and the crash counter when the worker reported E027. *)
+let dispatch_query st sup conn req line =
+  let m = Service.metrics st.svc in
+  let req_id = Protocol.request_id req in
+  let t0 = now () in
+  let reply ~status ~code out_line =
+    (match code with
+    | Some "E027" ->
+      st.crashed <- st.crashed + 1;
+      Metrics.inc
+        (Metrics.counter m ~help:"requests whose handler raised"
+           "mdqa_server_crashed_total")
+    | _ -> ());
+    send_reply st conn ~status ?code out_line;
+    Service.request_served st.svc;
+    Metrics.observe
+      (Metrics.histogram m ~help:"request handling latency"
+         "mdqa_server_request_seconds")
+      (now () -. t0)
+  in
+  let accepted =
+    Supervisor.dispatch sup ~line ~req_id
+      ~write_deadline:(now () +. st.cfg.write_timeout)
+      ~reply
+  in
+  if accepted then
+    Metrics.inc
+      (Metrics.counter m ~help:"requests received, by kind"
+         ~labels:[ ("kind", Protocol.request_kind req) ]
+         "mdqa_server_requests_total");
+  accepted
+
+let shed_dead_query st conn req =
+  (* not enough live workers to promise progress: refuse the query
+     outright rather than park it on a dead pool *)
+  st.degraded_events <- st.degraded_events + 1;
+  send_reply st conn ~status:"degraded" ~code:"H054"
+    (Protocol.degraded_reply
+       ?id:(Protocol.request_id req)
+       ~code:"H054" ~reason:"workers" ~answers:None
+       ~message:"worker pool unavailable (crash backoff); retry with backoff"
+       ())
+
 let process_queue st =
-  let budget = ref (Admission.length st.queue) in
-  while !budget > 0 do
-    (match Admission.take st.queue with
-     | None -> budget := 1
-     | Some (conn, req) -> answer st conn req);
-    decr budget
-  done
+  match st.sup with
+  | None ->
+    let budget = ref (Admission.length st.queue) in
+    while !budget > 0 do
+      (match Admission.take st.queue with
+       | None -> budget := 1
+       | Some (conn, req, _line) -> answer st conn req);
+      decr budget
+    done
+  | Some sup ->
+    (* strict FIFO: a query head with no ready worker blocks the queue
+       until a reply or a respawn frees one.  Below quorum, queries are
+       refused outright (H054) instead of parking on a dead pool — but
+       non-query requests are still answered inline: the control plane
+       stays responsive through any worker storm. *)
+    let continue = ref true in
+    while !continue do
+      match Admission.peek st.queue with
+      | None -> continue := false
+      | Some (conn, req, line) -> (
+        match req with
+        | Protocol.Query _ ->
+          if not (Supervisor.quorum sup) then begin
+            ignore (Admission.take st.queue);
+            shed_dead_query st conn req
+          end
+          else if dispatch_query st sup conn req line then
+            ignore (Admission.take st.queue)
+          else continue := false
+        | _ ->
+          ignore (Admission.take st.queue);
+          answer st conn req)
+    done
 
 let expire_queue st =
   let rec go () =
     match Admission.take st.queue with
     | None -> ()
-    | Some (conn, req) ->
+    | Some (conn, req, _line) ->
       st.degraded_events <- st.degraded_events + 1;
       send_reply st conn ~status:"degraded" ~code:"H053"
         (Protocol.degraded_reply
@@ -441,10 +516,13 @@ let run cfg svc =
   Fdio.set_nonblock pr;
   Fdio.set_nonblock pw;
   let drain_flag = ref false in
-  let on_signal _ =
-    drain_flag := true;
+  let wake () =
     try ignore (Unix.write pw (Bytes.of_string "x") 0 1)
     with Unix.Unix_error _ -> ()
+  in
+  let on_signal _ =
+    drain_flag := true;
+    wake ()
   in
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
@@ -453,14 +531,46 @@ let run cfg svc =
       svc;
       conns = [];
       queue = Admission.create ~capacity:cfg.max_queue;
+      sup = None;
       draining = false;
       drain_deadline = 0.;
       degraded_events = 0;
       crashed = 0 }
   in
+  (* Fork the pool only now: the children share the warmed-up fixpoint
+     copy-on-write, and [on_child] (run in each fresh child, at every
+     respawn) closes whatever parent fds exist at that moment. *)
+  let prev_chld = ref None in
+  if cfg.workers > 0 then begin
+    let on_child () =
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.close pr with Unix.Unix_error _ -> ());
+      (try Unix.close pw with Unix.Unix_error _ -> ());
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        st.conns
+    in
+    let spawn ~on_child =
+      Worker.spawn ~svc ~defaults:(worker_defaults cfg)
+        ~recycle:
+          { Worker.max_requests = cfg.worker_max_requests;
+            max_heap_mb = cfg.worker_max_heap_mb }
+        ~on_child ()
+    in
+    st.sup <-
+      Some
+        (Supervisor.start ~metrics:(Service.metrics svc)
+           ?watchdog:cfg.watchdog ~min_ready:cfg.min_ready ~count:cfg.workers
+           ~spawn ~on_child ());
+    (* SIGCHLD only wakes the select; the reap happens in the loop *)
+    prev_chld :=
+      Some (Sys.signal Sys.sigchld (Sys.Signal_handle (fun _ -> wake ())))
+  end;
   let listener_open = ref true in
   Logger.info
-    ~fields:[ ("addr", Logger.Str (addr_string cfg.addr)) ]
+    ~fields:
+      [ ("addr", Logger.Str (addr_string cfg.addr));
+        ("workers", Logger.Int cfg.workers) ]
     "mdqa serve: listening";
   let finished = ref false in
   while not !finished do
@@ -475,34 +585,79 @@ let run cfg svc =
         ~fields:[ ("grace_s", Logger.Float cfg.drain_grace) ]
         "mdqa serve: draining");
     st.conns <- List.filter (fun c -> c.alive) st.conns;
+    (match st.sup with
+    | Some sup ->
+      ignore (Supervisor.reap sup);
+      Supervisor.tick sup
+    | None -> ());
+    let worker_fds =
+      match st.sup with Some sup -> Supervisor.fds sup | None -> []
+    in
     let read_fds =
       (if !listener_open then [ lfd ] else [])
-      @ (pr :: List.map (fun c -> c.fd) st.conns)
+      @ (pr :: worker_fds)
+      @ List.map (fun c -> c.fd) st.conns
     in
-    let tmo = if Admission.is_empty st.queue then 0.25 else 0. in
-    (match Unix.select read_fds [] [] tmo with
-     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-     | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+    let tmo =
+      match st.sup with
+      | None -> if Admission.is_empty st.queue then 0.25 else 0.
+      | Some sup -> (
+        (* queued work makes progress only via a worker event or a
+           scheduled tick, both of which wake the select; no spin *)
+        match Supervisor.next_wakeup sup with
+        | None -> 0.25
+        | Some at -> Float.min 0.25 (Float.max 0. (at -. now ())))
+    in
+    (match Fdio.select_read read_fds ~timeout:tmo with
+     | Error Unix.EBADF ->
        (* a conn closed underneath us; the alive filter above cleans
           it up next iteration *)
        st.conns <- List.filter (fun c -> c.alive) st.conns
-     | ready, _, _ ->
+     | Error _ -> ()
+     | Ok ready ->
        if List.mem pr ready then drain_pipe pr;
+       (match st.sup with
+       | Some sup ->
+         List.iter
+           (fun fd ->
+             if List.mem fd ready then Supervisor.handle_readable sup fd)
+           worker_fds
+       | None -> ());
        if !listener_open && List.mem lfd ready then accept_loop st lfd;
        List.iter
          (fun c -> if c.alive && List.mem c.fd ready then feed st c)
          st.conns);
     check_slow_loris st;
     process_queue st;
-    if st.draining then (
-      if now () > st.drain_deadline then expire_queue st;
-      if Admission.is_empty st.queue then finished := true)
+    if st.draining then begin
+      if now () > st.drain_deadline then begin
+        expire_queue st;
+        match st.sup with
+        | Some sup ->
+          let aborted =
+            Supervisor.abort_inflight sup ~code:"H053" ~reason:"drain"
+              ~message:"drain deadline reached before this request finished"
+          in
+          st.degraded_events <- st.degraded_events + aborted
+        | None -> ()
+      end;
+      let inflight =
+        match st.sup with Some sup -> Supervisor.inflight sup | None -> 0
+      in
+      if Admission.is_empty st.queue && inflight = 0 then finished := true
+    end
   done;
   List.iter close_conn st.conns;
-  (try Unix.close pr with Unix.Unix_error _ -> ());
-  (try Unix.close pw with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
+  (match !prev_chld with
+  | Some prev -> Sys.set_signal Sys.sigchld prev
+  | None -> ());
+  (match st.sup with
+  | Some sup -> Supervisor.shutdown sup ~grace:2.
+  | None -> ());
+  (try Unix.close pr with Unix.Unix_error _ -> ());
+  (try Unix.close pw with Unix.Unix_error _ -> ());
   let checkpoint_failed =
     match Service.checkpoint svc ~force:true with
     | `Written bytes ->
@@ -529,7 +684,11 @@ let run cfg svc =
       [ ("requests", Logger.Int (Service.requests svc));
         ("shed", Logger.Int (Admission.shed st.queue));
         ("crashed", Logger.Int st.crashed);
-        ("degraded", Logger.Int st.degraded_events) ]
+        ("degraded", Logger.Int st.degraded_events);
+        ("worker_restarts",
+         Logger.Int
+           (match st.sup with Some s -> Supervisor.restarts s | None -> 0))
+      ]
     "mdqa serve: drained";
   if
     st.degraded_events > 0 || checkpoint_failed

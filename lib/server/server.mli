@@ -21,7 +21,17 @@
     - SIGTERM/SIGINT starts a graceful drain: stop accepting, answer
       or degrade everything in flight within the grace period, write a
       final (breaker-bypassing) checkpoint, exit 0 — or 2 when
-      anything had to be degraded on the way out. *)
+      anything had to be degraded on the way out.
+
+    With [workers > 0] the loop keeps all of the above but answers
+    queries through a {!Supervisor}-managed pool of forked workers
+    sharing the warm fixpoint copy-on-write: a worker crash costs one
+    E029 reply and a jittered-backoff restart, a hung worker is
+    SIGKILLed at the watchdog deadline (W049), and when fewer than
+    [min_ready] workers are alive queued queries are refused with H054
+    instead of waiting on a dead pool.  Non-query requests (ping,
+    health, ready, metrics, spans) are always answered inline — the
+    control plane stays responsive through any worker storm. *)
 
 type addr =
   | Unix_path of string  (** a filesystem socket; removed on exit *)
@@ -37,6 +47,11 @@ type config = {
   request_timeout : float option;  (** default per-request deadline *)
   request_max_steps : int option;  (** default per-request step budget *)
   drain_grace : float;  (** seconds to finish in-flight work on drain *)
+  workers : int;  (** forked query workers; 0 (default) = inline *)
+  watchdog : float option;  (** per-request worker hang deadline, seconds *)
+  min_ready : int;  (** live workers required to accept queries (1) *)
+  worker_max_requests : int;  (** recycle after this many requests; 0 = off *)
+  worker_max_heap_mb : float;  (** recycle past this heap size; 0. = off *)
 }
 
 val default_config : addr -> config

@@ -11,7 +11,7 @@ type t = {
   store : Store.t option;
   breaker : Breaker.t;
   metrics : Metrics.t;  (** service-lifetime registry *)
-  checkpoint_every : int;
+  mutable checkpoint_every : int;  (** 0 in worker children: the parent owns the disk *)
   mutable fixpoint_at : float;  (** Guard.Clock time of materialization *)
   mutable requests : int;
   mutable last_checkpoint_error : string option;
@@ -138,6 +138,8 @@ let checkpoint t ~force =
         t.last_checkpoint_error <-
           Some (Format.asprintf "%a" Guard.pp_exhaustion e);
         `Failed (Format.asprintf "%a" Guard.pp_exhaustion e))
+
+let disable_periodic_checkpoints t = t.checkpoint_every <- 0
 
 let request_served t =
   t.requests <- t.requests + 1;

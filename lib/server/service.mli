@@ -62,6 +62,12 @@ val request_served : t -> unit
 (** Count one served request; every [checkpoint_every]-th triggers a
     breaker-guarded {!checkpoint}. *)
 
+val disable_periodic_checkpoints : t -> unit
+(** Stop {!request_served} from ever checkpointing.  Forked worker
+    children call this right after the fork: exactly one process — the
+    supervisor parent — may own the store file, or two writers race on
+    the same temp path. *)
+
 val checkpoint :
   t ->
   force:bool ->

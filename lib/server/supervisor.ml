@@ -1,0 +1,560 @@
+module Diag = Mdqa_datalog.Diag
+module Metrics = Mdqa_obs.Metrics
+module Logger = Mdqa_obs.Logger
+module Failpoint = Mdqa_obs.Failpoint
+
+(* --- injectable effects ------------------------------------------------ *)
+
+(* Everything the supervisor does to the outside world goes through
+   these, so the qcheck properties can run the whole state machine
+   in-process: a fake clock, a recording kill, scripted reaps, a
+   deterministic rand, and a spawn that hands back a socketpair
+   instead of forking. *)
+type hooks = {
+  clock : unit -> float;
+  kill : int -> unit;
+  wait_any : unit -> (int * Unix.process_status) option;
+  wait_pid : int -> (int * Unix.process_status) option;
+  rand : float -> float;
+}
+
+let default_hooks =
+  { clock = Mdqa_datalog.Guard.Clock.now;
+    kill =
+      (fun pid ->
+        try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    wait_any =
+      (fun () ->
+        match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+        | 0, _ -> None
+        | pid, status -> Some (pid, status)
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None);
+    wait_pid =
+      (fun pid ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> None
+        | pid, status -> Some (pid, status)
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None);
+    rand = Random.float }
+
+(* --- pure policy helpers (property-tested directly) ------------------- *)
+
+(* Consecutive-crash count after one more crash: a worker that stayed
+   up past [healthy_after] earned its attempts back, so a slow crash
+   loop pays the base delay each time instead of walking to the cap. *)
+let next_attempts ~healthy_after ~uptime ~attempts =
+  if uptime >= healthy_after then 1 else attempts + 1
+
+let restart_delay policy ~rand ~attempts =
+  (* attempts is >= 1 here (it counts the crash that just happened);
+     attempt 0 of the backoff curve is the first restart *)
+  Backoff.delay policy ~rand ~attempt:(max 0 (attempts - 1))
+
+(* --- state ------------------------------------------------------------- *)
+
+type reply_fn = status:string -> code:string option -> string -> unit
+
+type inflight = {
+  reply : reply_fn;
+  req_id : Jsonl.t option;
+  started : float;
+  deadline : float option;
+  mutable answered : bool;
+}
+
+type phase =
+  | Ready
+  | Busy of inflight
+  | Doomed  (** killed or dying; waiting for the reap *)
+  | Cooling of float  (** no process; respawn at this clock time *)
+
+type slot = {
+  sid : int;
+  mutable proc : Worker.t option;
+  mutable phase : phase;
+  mutable spawned_at : float;
+  mutable attempts : int;  (** consecutive crashes, for backoff *)
+  mutable served : int;
+  mutable fp_seen : (string * int) list;
+      (** failpoint watermark: counts already folded into the parent *)
+}
+
+type t = {
+  slots : slot array;
+  policy : Backoff.policy;
+  healthy_after : float;
+  watchdog : float option;
+  min_ready : int;
+  hooks : hooks;
+  metrics : Metrics.t option;
+  spawn : on_child:(unit -> unit) -> Worker.t;
+  on_child : unit -> unit;
+  mutable restarts : int;
+  mutable recycles : int;
+  mutable watchdog_kills : int;
+}
+
+let counter t name help =
+  Option.map (fun m -> Metrics.counter m ~help name) t.metrics
+
+let bump t name help =
+  match counter t name help with Some c -> Metrics.inc c | None -> ()
+
+(* --- spawning ---------------------------------------------------------- *)
+
+let close_siblings t =
+  Array.iter
+    (fun s ->
+      match s.proc with
+      | Some w -> (try Unix.close w.Worker.fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    t.slots
+
+let do_spawn t slot =
+  let on_child () =
+    (* runs in the freshly forked child *)
+    close_siblings t;
+    t.on_child ()
+  in
+  match t.spawn ~on_child with
+  | w ->
+    slot.proc <- Some w;
+    slot.phase <- Ready;
+    slot.spawned_at <- t.hooks.clock ();
+    slot.served <- 0;
+    (* the child inherited the parent's counts at fork; only what it
+       adds on top should be folded back *)
+    slot.fp_seen <- Failpoint.hits ();
+    Logger.info
+      ~fields:
+        [ ("slot", Logger.Int slot.sid); ("pid", Logger.Int w.Worker.pid) ]
+      "worker spawned"
+  | exception e ->
+    (* fork/socketpair failure (EAGAIN, EMFILE): back off like a crash *)
+    slot.attempts <- slot.attempts + 1;
+    let d = restart_delay t.policy ~rand:t.hooks.rand ~attempts:slot.attempts in
+    slot.phase <- Cooling (t.hooks.clock () +. d);
+    Logger.error
+      ~fields:
+        [ ("slot", Logger.Int slot.sid);
+          ("error", Logger.Str (Printexc.to_string e)) ]
+      "worker spawn failed"
+
+let start ?(hooks = default_hooks) ?metrics ?(policy = Backoff.default_policy)
+    ?(healthy_after = 5.) ?watchdog ?(min_ready = 1) ~count ~spawn ~on_child
+    () =
+  let t =
+    { slots =
+        Array.init count (fun sid ->
+            { sid;
+              proc = None;
+              phase = Cooling 0.;
+              spawned_at = 0.;
+              attempts = 0;
+              served = 0;
+              fp_seen = [] });
+      policy;
+      healthy_after;
+      watchdog;
+      min_ready;
+      hooks;
+      metrics;
+      spawn;
+      on_child;
+      restarts = 0;
+      recycles = 0;
+      watchdog_kills = 0 }
+  in
+  Array.iter (fun slot -> do_spawn t slot) t.slots;
+  t
+
+(* --- introspection ----------------------------------------------------- *)
+
+let count t = Array.length t.slots
+
+let alive t =
+  Array.fold_left
+    (fun n s -> if s.proc <> None then n + 1 else n)
+    0 t.slots
+
+let ready t =
+  Array.fold_left
+    (fun n s -> match s.phase with Ready -> n + 1 | _ -> n)
+    0 t.slots
+
+let busy t =
+  Array.fold_left
+    (fun n s -> match s.phase with Busy _ -> n + 1 | _ -> n)
+    0 t.slots
+
+let inflight t =
+  Array.fold_left
+    (fun n s ->
+      match s.phase with Busy i when not i.answered -> n + 1 | _ -> n)
+    0 t.slots
+
+let min_ready t = t.min_ready
+let restarts t = t.restarts
+let recycles t = t.recycles
+let watchdog_kills t = t.watchdog_kills
+
+let quorum t = alive t >= t.min_ready
+
+let fds t =
+  Array.fold_left
+    (fun acc s ->
+      match (s.proc, s.phase) with
+      | Some w, (Ready | Busy _) -> w.Worker.fd :: acc
+      | _ -> acc)
+    [] t.slots
+
+(* --- failpoint piggyback ---------------------------------------------- *)
+
+let absorb_fp t slot fp =
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun (name, count) ->
+        let seen =
+          Option.value ~default:0 (List.assoc_opt name slot.fp_seen)
+        in
+        Failpoint.record_in m ~name (count - seen))
+      fp);
+  slot.fp_seen <-
+    List.map
+      (fun (name, count) ->
+        ( name,
+          max count (Option.value ~default:0 (List.assoc_opt name slot.fp_seen))
+        ))
+      fp
+
+(* --- death and rebirth ------------------------------------------------- *)
+
+let e029_line ~req_id ~cause =
+  Protocol.error_reply ?id:req_id
+    (Diag.make Diag.Error ~code:"E029"
+       (Printf.sprintf "worker crashed while handling this request (%s)"
+          cause))
+
+let handle_exit t ~pid ~status =
+  let found = ref false in
+  Array.iter
+    (fun slot ->
+      match slot.proc with
+      | Some w when w.Worker.pid = pid ->
+        found := true;
+        let uptime = t.hooks.clock () -. slot.spawned_at in
+        let busy_unanswered =
+          match slot.phase with
+          | Busy i when not i.answered -> Some i
+          | _ -> None
+        in
+        let cls =
+          match Worker.classify status with
+          | Worker.Recycled when busy_unanswered <> None ->
+            (* exiting 0 mid-request is not a recycle, it's a fault *)
+            Worker.Crashed "exit 0 mid-request"
+          | c -> c
+        in
+        (match busy_unanswered with
+        | Some i ->
+          i.answered <- true;
+          let cause =
+            match cls with Worker.Crashed c -> c | Worker.Recycled -> "exit 0"
+          in
+          i.reply ~status:"error" ~code:(Some "E029")
+            (e029_line ~req_id:i.req_id ~cause)
+        | None -> ());
+        Worker.close w;
+        slot.proc <- None;
+        (match cls with
+        | Worker.Recycled ->
+          t.recycles <- t.recycles + 1;
+          bump t "mdqa_server_worker_recycles_total"
+            "workers retired voluntarily (max-requests / max-heap)";
+          slot.attempts <- 0;
+          slot.phase <- Cooling 0.
+        | Worker.Crashed cause ->
+          t.restarts <- t.restarts + 1;
+          bump t "mdqa_server_worker_restarts_total"
+            "workers restarted after a crash";
+          slot.attempts <-
+            next_attempts ~healthy_after:t.healthy_after ~uptime
+              ~attempts:slot.attempts;
+          let d =
+            restart_delay t.policy ~rand:t.hooks.rand ~attempts:slot.attempts
+          in
+          slot.phase <- Cooling (t.hooks.clock () +. d);
+          Logger.error
+            ~fields:
+              [ ("slot", Logger.Int slot.sid);
+                ("pid", Logger.Int pid);
+                ("cause", Logger.Str cause);
+                ("uptime_s", Logger.Float uptime);
+                ("restart_in_s", Logger.Float d) ]
+            "worker crashed")
+      | _ -> ())
+    t.slots;
+  !found
+
+(* Reap every child that has exited; returns how many were handled. *)
+let reap t =
+  let n = ref 0 in
+  let rec go () =
+    match t.hooks.wait_any () with
+    | None -> ()
+    | Some (pid, status) ->
+      if handle_exit t ~pid ~status then incr n;
+      go ()
+  in
+  go ();
+  !n
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let doom t slot =
+  match slot.proc with
+  | None -> ()
+  | Some w ->
+    t.hooks.kill w.Worker.pid;
+    (match slot.phase with
+    | Busy _ -> () (* keep the inflight; the reap replies E029 *)
+    | _ -> slot.phase <- Doomed)
+
+let dispatch t ~line ~req_id ~write_deadline ~reply =
+  let rec try_from i =
+    if i >= Array.length t.slots then false
+    else
+      let slot = t.slots.(i) in
+      match (slot.phase, slot.proc) with
+      | Ready, Some w -> (
+        match Worker.dispatch w ~write_deadline line with
+        | Ok () ->
+          let now = t.hooks.clock () in
+          slot.phase <-
+            Busy
+              { reply;
+                req_id;
+                started = now;
+                deadline = Option.map (fun d -> now +. d) t.watchdog;
+                answered = false };
+          true
+        | Error e ->
+          Logger.error
+            ~fields:
+              [ ("slot", Logger.Int slot.sid);
+                ("error", Logger.Str e) ]
+            "worker dispatch failed; replacing worker";
+          doom t slot;
+          try_from (i + 1))
+      | _ -> try_from (i + 1)
+  in
+  try_from 0
+
+(* --- replies ----------------------------------------------------------- *)
+
+let handle_frame t slot payload =
+  match Worker.parse_envelope payload with
+  | Error e ->
+    Logger.error
+      ~fields:
+        [ ("slot", Logger.Int slot.sid); ("error", Logger.Str e) ]
+      "corrupt worker reply; replacing worker";
+    (match slot.phase with
+    | Busy i when not i.answered ->
+      i.answered <- true;
+      i.reply ~status:"error" ~code:(Some "E029")
+        (e029_line ~req_id:i.req_id ~cause:"corrupt reply stream")
+    | _ -> ());
+    doom t slot
+  | Ok pr -> (
+    absorb_fp t slot pr.Worker.fp;
+    slot.served <- slot.served + 1;
+    match slot.phase with
+    | Busy i when not i.answered ->
+      i.answered <- true;
+      i.reply ~status:pr.Worker.status ~code:pr.Worker.code pr.Worker.line;
+      slot.phase <- Ready
+    | Busy _ ->
+      (* the watchdog already answered and killed this pid: drop the
+         late reply, let the reap recycle the slot *)
+      ()
+    | _ -> ())
+
+let handle_readable t fd =
+  Array.iter
+    (fun slot ->
+      match slot.proc with
+      | Some w when w.Worker.fd = fd -> (
+        match Worker.poll w with
+        | `Nothing -> ()
+        | `Frames frames -> List.iter (handle_frame t slot) frames
+        | `Eof -> (
+          (* the child closed its end: it exited (or is exiting) *)
+          match t.hooks.wait_pid w.Worker.pid with
+          | Some (pid, status) -> ignore (handle_exit t ~pid ~status)
+          | None -> (
+            match slot.phase with
+            | Busy _ -> () (* reap is imminent; E029 happens there *)
+            | _ -> slot.phase <- Doomed))
+        | `Error e ->
+          Logger.error
+            ~fields:
+              [ ("slot", Logger.Int slot.sid); ("error", Logger.Str e) ]
+            "worker pipe error; replacing worker";
+          doom t slot)
+      | _ -> ())
+    t.slots
+
+(* --- periodic work ----------------------------------------------------- *)
+
+let tick t =
+  let now = t.hooks.clock () in
+  (* hang watchdog: a worker past its deadline gets the client a W049
+     degraded reply immediately and a SIGKILL; the reap restarts it *)
+  Array.iter
+    (fun slot ->
+      match (slot.phase, slot.proc) with
+      | Busy i, Some w when (not i.answered)
+                            && (match i.deadline with
+                               | Some d -> now > d
+                               | None -> false) ->
+        i.answered <- true;
+        t.hooks.kill w.Worker.pid;
+        t.watchdog_kills <- t.watchdog_kills + 1;
+        bump t "mdqa_server_watchdog_kills_total"
+          "workers SIGKILLed for exceeding the request watchdog";
+        i.reply ~status:"degraded" ~code:(Some "W049")
+          (Protocol.degraded_reply ?id:i.req_id ~code:"W049"
+             ~reason:"watchdog" ~answers:None
+             ~message:
+               (Printf.sprintf
+                  "worker exceeded its %.1fs request deadline and was killed"
+                  (Option.value ~default:0. t.watchdog))
+             ());
+        Logger.error
+          ~fields:
+            [ ("slot", Logger.Int slot.sid);
+              ("pid", Logger.Int w.Worker.pid);
+              ("busy_s", Logger.Float (now -. i.started)) ]
+          "worker hung; killed by watchdog"
+      | _ -> ())
+    t.slots;
+  (* respawns whose cooldown has passed *)
+  Array.iter
+    (fun slot ->
+      match slot.phase with
+      | Cooling until when now >= until && slot.proc = None -> do_spawn t slot
+      | _ -> ())
+    t.slots
+
+(* The next moment tick has something to do: the earliest cooldown
+   expiry or watchdog deadline.  None when nothing is pending. *)
+let next_wakeup t =
+  Array.fold_left
+    (fun acc slot ->
+      let candidate =
+        match slot.phase with
+        | Cooling until -> Some until
+        | Busy i when not i.answered -> i.deadline
+        | _ -> None
+      in
+      match (acc, candidate) with
+      | None, c -> c
+      | a, None -> a
+      | Some a, Some c -> Some (Float.min a c))
+    None t.slots
+
+(* --- drain / shutdown -------------------------------------------------- *)
+
+let abort_inflight t ~code ~reason ~message =
+  let n = ref 0 in
+  Array.iter
+    (fun slot ->
+      match slot.phase with
+      | Busy i when not i.answered ->
+        i.answered <- true;
+        incr n;
+        i.reply ~status:"degraded" ~code:(Some code)
+          (Protocol.degraded_reply ?id:i.req_id ~code ~reason ~answers:None
+             ~message ())
+      | _ -> ())
+    t.slots;
+  !n
+
+let shutdown t ~grace =
+  (* closing the parent ends EOFs every idle worker, which exits 0 *)
+  Array.iter
+    (fun slot ->
+      match slot.proc with
+      | Some w -> (try Unix.close w.Worker.fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    t.slots;
+  let deadline = t.hooks.clock () +. grace in
+  let rec wait_all () =
+    let live =
+      Array.exists (fun s -> s.proc <> None) t.slots
+    in
+    if live then
+      if t.hooks.clock () >= deadline then
+        (* stragglers (hung handlers) get the axe *)
+        Array.iter
+          (fun slot ->
+            match slot.proc with
+            | Some w ->
+              t.hooks.kill w.Worker.pid;
+              (match t.hooks.wait_pid w.Worker.pid with
+              | Some (pid, status) -> ignore (handle_exit t ~pid ~status)
+              | None ->
+                (* record-keeping only; the process is dead or dying *)
+                slot.proc <- None)
+            | None -> ())
+          t.slots
+      else begin
+        let reaped = reap t in
+        if reaped = 0 then Fdio.sleepf 0.02;
+        wait_all ()
+      end
+  in
+  wait_all ()
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let record_metrics t m =
+  let set name help v = Metrics.set (Metrics.gauge m ~help name) v in
+  set "mdqa_server_workers_configured" "size of the worker pool"
+    (float_of_int (count t));
+  set "mdqa_server_workers_alive" "workers with a live process"
+    (float_of_int (alive t));
+  set "mdqa_server_workers_ready" "workers idle and dispatchable"
+    (float_of_int (ready t));
+  set "mdqa_server_workers_busy" "workers handling a request"
+    (float_of_int (busy t));
+  (* make the counters visible in the exposition even before the first
+     event of each kind *)
+  ignore
+    (Metrics.counter m ~help:"workers restarted after a crash"
+       "mdqa_server_worker_restarts_total");
+  ignore
+    (Metrics.counter m
+       ~help:"workers retired voluntarily (max-requests / max-heap)"
+       "mdqa_server_worker_recycles_total");
+  ignore
+    (Metrics.counter m
+       ~help:"workers SIGKILLed for exceeding the request watchdog"
+       "mdqa_server_watchdog_kills_total")
+
+let health_fields t =
+  [ ("workers",
+     Jsonl.Obj
+       [ ("configured", Jsonl.Num (float_of_int (count t)));
+         ("alive", Jsonl.Num (float_of_int (alive t)));
+         ("ready", Jsonl.Num (float_of_int (ready t)));
+         ("busy", Jsonl.Num (float_of_int (busy t)));
+         ("min_ready", Jsonl.Num (float_of_int t.min_ready));
+         ("restarts", Jsonl.Num (float_of_int t.restarts));
+         ("recycles", Jsonl.Num (float_of_int t.recycles));
+         ("watchdog_kills", Jsonl.Num (float_of_int t.watchdog_kills)) ]) ]

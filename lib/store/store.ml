@@ -176,6 +176,7 @@ let checkpoint st =
    guard, which is the caller's own budget and must keep propagating. *)
 let checkpoint_now st ~instance ~stats =
   match
+    Mdqa_obs.Failpoint.hit "store.checkpoint";
     note_instance st instance;
     write_snapshot st ~instance ~frontier:None ~stats
   with

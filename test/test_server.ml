@@ -354,6 +354,688 @@ let test_absorb_never_raises () =
   Alcotest.(check int) "over-limit after absorb" 10
     (Guard.consumption parent).Guard.steps
 
+(* --- failpoints -------------------------------------------------------- *)
+
+module Failpoint = Mdqa_obs.Failpoint
+
+let test_failpoint_parse () =
+  (match
+     Failpoint.parse_spec
+       "a=crash, b=exit:3@2 ,c=hang:1.5,d=delay:250@4+,e=err,f=off"
+   with
+   | Error e -> Alcotest.fail e
+   | Ok entries ->
+     let find n =
+       match List.assoc_opt n entries with
+       | Some e -> e
+       | None -> Alcotest.fail (Printf.sprintf "entry %S missing" n)
+     in
+     let check_entry name expected =
+       Alcotest.(check bool) name true (find name = expected)
+     in
+     check_entry "a" { Failpoint.action = Failpoint.Crash; trigger = Failpoint.Always };
+     check_entry "b" { Failpoint.action = Failpoint.Exit 3; trigger = Failpoint.At 2 };
+     check_entry "c" { Failpoint.action = Failpoint.Hang 1.5; trigger = Failpoint.Always };
+     (* delay takes milliseconds on the wire, seconds internally *)
+     check_entry "d" { Failpoint.action = Failpoint.Delay 0.25; trigger = Failpoint.From 4 };
+     check_entry "e" { Failpoint.action = Failpoint.Err; trigger = Failpoint.Always };
+     check_entry "f" { Failpoint.action = Failpoint.Off; trigger = Failpoint.Always });
+  Alcotest.(check bool) "empty spec is fine" true (Failpoint.parse_spec "" = Ok []);
+  List.iter
+    (fun bad ->
+      match Failpoint.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must be rejected" bad))
+    [ "nope"; "x=warp"; "x=exit:abc"; "x=hang:zz"; "x=delay:"; "x=crash@0";
+      "x=crash@-1"; "x=crash@x+"; "=crash" ]
+
+(* [true] when the hit raised Injected for that site. *)
+let fp_fires name =
+  match Failpoint.hit name with
+  | () -> false
+  | exception Failpoint.Injected n ->
+    Alcotest.(check string) "exception names the site" name n;
+    true
+
+let test_failpoint_triggers () =
+  Failpoint.disarm_all ();
+  Failpoint.arm "t.at" { Failpoint.action = Failpoint.Err; trigger = Failpoint.At 2 };
+  Alcotest.(check bool) "@2: hit 1 quiet" false (fp_fires "t.at");
+  Alcotest.(check bool) "@2: hit 2 fires" true (fp_fires "t.at");
+  Alcotest.(check bool) "@2: hit 3 quiet again" false (fp_fires "t.at");
+  Failpoint.arm "t.from" { Failpoint.action = Failpoint.Err; trigger = Failpoint.From 2 };
+  Alcotest.(check bool) "@2+: hit 1 quiet" false (fp_fires "t.from");
+  Alcotest.(check bool) "@2+: hit 2 fires" true (fp_fires "t.from");
+  Alcotest.(check bool) "@2+: hit 3 fires" true (fp_fires "t.from");
+  Failpoint.arm "t.off" { Failpoint.action = Failpoint.Off; trigger = Failpoint.Always };
+  Failpoint.hit "t.off";
+  Failpoint.hit "t.off";
+  Failpoint.hit "t.off";
+  Alcotest.(check bool) "hits counted per site, sorted" true
+    (Failpoint.hits () = [ ("t.at", 3); ("t.from", 3); ("t.off", 3) ]);
+  (* unarmed sites cost nothing and count nothing *)
+  Failpoint.hit "t.unarmed";
+  Alcotest.(check int) "unarmed hit not counted" 3
+    (List.length (Failpoint.hits ()));
+  Failpoint.disarm_all ();
+  Alcotest.(check bool) "disarm_all forgets counts" true (Failpoint.hits () = []);
+  Failpoint.hit "t.at";
+  Alcotest.(check bool) "disarmed site is inert" true (Failpoint.hits () = [])
+
+let test_failpoint_arm () =
+  Failpoint.disarm_all ();
+  (match Failpoint.arm_spec "t.spec=err@1" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "arm_spec: first hit fires" true (fp_fires "t.spec");
+  Alcotest.(check bool) "arm_spec: second hit quiet" false (fp_fires "t.spec");
+  (* re-arming keeps the hit count *)
+  Failpoint.arm "t.spec" { Failpoint.action = Failpoint.Off; trigger = Failpoint.Always };
+  Alcotest.(check int) "re-arm preserves counts" 2
+    (List.assoc "t.spec" (Failpoint.hits ()));
+  Unix.putenv "MDQA_FAILPOINTS" "t.env=off@2+";
+  (match Failpoint.arm_env () with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Failpoint.hit "t.env";
+  Alcotest.(check int) "env-armed site counts" 1
+    (List.assoc "t.env" (Failpoint.hits ()));
+  Unix.putenv "MDQA_FAILPOINTS" "bogus";
+  (match Failpoint.arm_env () with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "a bogus MDQA_FAILPOINTS must be rejected");
+  Unix.putenv "MDQA_FAILPOINTS" "";
+  Alcotest.(check bool) "empty env is Ok" true (Failpoint.arm_env () = Ok ());
+  Failpoint.disarm_all ()
+
+(* --- worker: frame codec, envelope, classification -------------------- *)
+
+let test_frame_codec () =
+  Fdio.ignore_sigpipe ();
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let r = Worker.Frame.reader () in
+  Alcotest.(check bool) "empty pipe: nothing" true
+    (Worker.Frame.poll r a = `Nothing);
+  let write fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  (* two frames in one write arrive in order *)
+  write b (Worker.Frame.encode "hello" ^ Worker.Frame.encode "world");
+  (match Worker.Frame.poll r a with
+   | `Frames [ "hello"; "world" ] -> ()
+   | _ -> Alcotest.fail "expected both frames in order");
+  (* a frame split mid-prefix survives partial delivery *)
+  let big = String.make 100 'x' in
+  let f = Worker.Frame.encode big in
+  write b (String.sub f 0 2);
+  Alcotest.(check bool) "partial prefix: nothing yet" true
+    (Worker.Frame.poll r a = `Nothing);
+  write b (String.sub f 2 (String.length f - 2));
+  (match Worker.Frame.poll r a with
+   | `Frames [ p ] -> Alcotest.(check string) "reassembled" big p
+   | _ -> Alcotest.fail "expected the reassembled frame");
+  Unix.close b;
+  Alcotest.(check bool) "peer close is eof" true (Worker.Frame.poll r a = `Eof);
+  Unix.close a
+
+let test_frame_corrupt () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let r = Worker.Frame.reader () in
+  (* 0xFFFFFFFF little-endian: negative / far past max_payload *)
+  ignore (Unix.write_substring b "\xff\xff\xff\xff" 0 4);
+  (match Worker.Frame.poll r a with
+   | `Error _ -> ()
+   | _ -> Alcotest.fail "corrupt length prefix must be an error");
+  Unix.close a;
+  Unix.close b
+
+let test_frame_read_blocking () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let msg = Worker.Frame.encode "payload" in
+  ignore (Unix.write_substring a msg 0 (String.length msg));
+  (match Worker.Frame.read_blocking b with
+   | Some "payload" -> ()
+   | _ -> Alcotest.fail "blocking read must return the payload");
+  Unix.close a;
+  Alcotest.(check bool) "eof is None" true (Worker.Frame.read_blocking b = None);
+  Unix.close b
+
+let test_envelope_roundtrip () =
+  Failpoint.disarm_all ();
+  Failpoint.arm "t.env2" { Failpoint.action = Failpoint.Off; trigger = Failpoint.Always };
+  Failpoint.hit "t.env2";
+  Failpoint.hit "t.env2";
+  let env = Worker.envelope ~line:"the reply\n" ~status:"degraded" ~code:(Some "W049") in
+  (match Worker.parse_envelope env with
+   | Ok pr ->
+     Alcotest.(check string) "line" "the reply\n" pr.Worker.line;
+     Alcotest.(check string) "status" "degraded" pr.Worker.status;
+     Alcotest.(check (option string)) "code" (Some "W049") pr.Worker.code;
+     Alcotest.(check int) "failpoint counters piggybacked" 2
+       (List.assoc "t.env2" pr.Worker.fp)
+   | Error e -> Alcotest.fail e);
+  Failpoint.disarm_all ();
+  (match Worker.parse_envelope {|{"nope": 1}|} with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "envelope without status/line must be rejected");
+  match Worker.parse_envelope "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage envelope must be rejected"
+
+let test_classify () =
+  let check_cls name expected status =
+    Alcotest.(check bool) name true (Worker.classify status = expected)
+  in
+  check_cls "exit 0 is a recycle" Worker.Recycled (Unix.WEXITED 0);
+  check_cls "exit 125 is a crash" (Worker.Crashed "exit 125") (Unix.WEXITED 125);
+  check_cls "SIGKILL is a crash" (Worker.Crashed "SIGKILL")
+    (Unix.WSIGNALED Sys.sigkill);
+  check_cls "SIGSEGV is a crash" (Worker.Crashed "SIGSEGV")
+    (Unix.WSIGNALED Sys.sigsegv);
+  Alcotest.(check string) "signal_name" "SIGABRT" (Worker.signal_name Sys.sigabrt)
+
+(* Failpoint-driven crash/exit classification against real forked
+   processes: the same [hit] that fires in a worker, classified by the
+   same [classify] the supervisor uses. *)
+let test_classify_forked () =
+  let status_after f =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try f () with _ -> ());
+      Unix._exit 99
+    | pid -> snd (Unix.waitpid [] pid)
+  in
+  Failpoint.disarm_all ();
+  Failpoint.arm "t.die" { Failpoint.action = Failpoint.Crash; trigger = Failpoint.Always };
+  Alcotest.(check bool) "crash action dies as SIGABRT" true
+    (Worker.classify (status_after (fun () -> Failpoint.hit "t.die"))
+     = Worker.Crashed "SIGABRT");
+  Failpoint.arm "t.die" { Failpoint.action = Failpoint.Exit 7; trigger = Failpoint.Always };
+  Alcotest.(check bool) "exit:7 action classifies as exit 7" true
+    (Worker.classify (status_after (fun () -> Failpoint.hit "t.die"))
+     = Worker.Crashed "exit 7");
+  Failpoint.arm "t.die" { Failpoint.action = Failpoint.Exit 0; trigger = Failpoint.Always };
+  Alcotest.(check bool) "exit:0 action classifies as a recycle" true
+    (Worker.classify (status_after (fun () -> Failpoint.hit "t.die"))
+     = Worker.Recycled);
+  Failpoint.disarm_all ()
+
+let test_should_retire () =
+  let r = { Worker.max_requests = 100; max_heap_mb = 50. } in
+  Alcotest.(check bool) "below both thresholds" false
+    (Worker.should_retire ~served:99 ~heap_mb:10. r);
+  Alcotest.(check bool) "request threshold" true
+    (Worker.should_retire ~served:100 ~heap_mb:10. r);
+  Alcotest.(check bool) "heap threshold" true
+    (Worker.should_retire ~served:0 ~heap_mb:50.1 r);
+  let off = { Worker.max_requests = 0; max_heap_mb = 0. } in
+  Alcotest.(check bool) "zeroes disable retirement" false
+    (Worker.should_retire ~served:1_000_000 ~heap_mb:4096. off)
+
+(* --- client: retry classification ------------------------------------- *)
+
+let parsed_reply line =
+  match Protocol.parse_reply (String.trim line) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_client_retry_classification () =
+  let overload =
+    parsed_reply
+      (Protocol.degraded_reply ~code:"W047" ~reason:"overload" ~answers:None
+         ~message:"shed" ())
+  in
+  Alcotest.(check bool) "overload shed always retried" true
+    (Client.should_retry_reply ~idempotent:true overload <> None
+     && Client.should_retry_reply ~idempotent:false overload <> None);
+  let e029 =
+    parsed_reply
+      (Protocol.error_reply
+         (Mdqa_datalog.Diag.make Mdqa_datalog.Diag.Error ~code:"E029"
+            "worker crashed while handling this request (SIGKILL)"))
+  in
+  Alcotest.(check bool) "E029 retried when idempotent" true
+    (Client.should_retry_reply ~idempotent:true e029 <> None);
+  Alcotest.(check bool) "E029 not retried otherwise" true
+    (Client.should_retry_reply ~idempotent:false e029 = None);
+  let complete = parsed_reply (Protocol.complete_reply ~answers:None ()) in
+  Alcotest.(check bool) "complete never retried" true
+    (Client.should_retry_reply ~idempotent:true complete = None);
+  (* a watchdog kill is NOT retried: the same query would hang the
+     next worker too *)
+  let w049 =
+    parsed_reply
+      (Protocol.degraded_reply ~code:"W049" ~reason:"watchdog" ~answers:None
+         ~message:"killed" ())
+  in
+  Alcotest.(check bool) "watchdog kill never retried" true
+    (Client.should_retry_reply ~idempotent:true w049 = None)
+
+(* --- supervisor: state machine under fake hooks ------------------------ *)
+
+(* The supervisor does everything through its hooks record and the
+   worker fds, so the whole state machine runs here with a fake clock,
+   a recording kill, scripted reaps and a spawn that hands back a
+   socketpair instead of forking. *)
+type sim = {
+  mutable now : float;
+  mutable killed : int list;
+  exits : (int * Unix.process_status) Queue.t;
+  mutable next_pid : int;
+  mutable peers : (int * Unix.file_descr) list;
+      (** pid -> the would-be child's end of the pipe *)
+  mutable spawned : int;
+}
+
+let sim () =
+  Fdio.ignore_sigpipe ();
+  { now = 0.;
+    killed = [];
+    exits = Queue.create ();
+    next_pid = 900_001;
+    peers = [];
+    spawned = 0 }
+
+let sim_hooks s =
+  { Supervisor.clock = (fun () -> s.now);
+    kill = (fun pid -> s.killed <- pid :: s.killed);
+    wait_any = (fun () -> Queue.take_opt s.exits);
+    wait_pid =
+      (fun pid ->
+        let found = ref None in
+        let rest = Queue.create () in
+        Queue.iter
+          (fun (p, st) ->
+            if !found = None && p = pid then found := Some (p, st)
+            else Queue.add (p, st) rest)
+          s.exits;
+        Queue.clear s.exits;
+        Queue.transfer rest s.exits;
+        !found);
+    rand = (fun x -> x) }
+
+let fake_spawn s ~on_child:_ =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let pid = s.next_pid in
+  s.next_pid <- s.next_pid + 1;
+  s.spawned <- s.spawned + 1;
+  s.peers <- (pid, b) :: s.peers;
+  { Worker.pid; fd = a; reader = Worker.Frame.reader () }
+
+let sim_cleanup sup s =
+  Supervisor.shutdown sup ~grace:0.;
+  List.iter
+    (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    s.peers
+
+(* Write one framed envelope into a worker's pipe from the child side;
+   a closed parent end (already reaped) is fine. *)
+let send_frame s pid payload =
+  match List.assoc_opt pid s.peers with
+  | None -> ()
+  | Some fd -> (
+    let data = Worker.Frame.encode payload in
+    try ignore (Unix.write_substring fd data 0 (String.length data))
+    with Unix.Unix_error _ -> ())
+
+let drain_fds sup =
+  List.iter (fun fd -> Supervisor.handle_readable sup fd) (Supervisor.fds sup)
+
+let wdl () = Guard.Clock.now () +. 5.
+
+let recorder () =
+  let replies = ref [] in
+  let reply ~status ~code line = replies := (status, code, line) :: !replies in
+  (replies, reply)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_sup_frame_reply () =
+  let s = sim () in
+  let replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~watchdog:3. ~count:1
+      ~spawn:(fake_spawn s) ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  Alcotest.(check int) "one ready worker" 1 (Supervisor.ready sup);
+  Alcotest.(check bool) "dispatch accepted" true
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  Alcotest.(check int) "one inflight" 1 (Supervisor.inflight sup);
+  Alcotest.(check int) "busy, not ready" 0 (Supervisor.ready sup);
+  send_frame s pid0 (Worker.envelope ~line:"ok\n" ~status:"complete" ~code:None);
+  drain_fds sup;
+  (match !replies with
+   | [ ("complete", None, "ok\n") ] -> ()
+   | _ -> Alcotest.fail "expected exactly the worker's reply");
+  Alcotest.(check int) "slot back to ready" 1 (Supervisor.ready sup);
+  Alcotest.(check int) "nothing inflight" 0 (Supervisor.inflight sup);
+  (* long past the watchdog deadline: an answered slot is left alone *)
+  s.now <- 100.;
+  Supervisor.tick sup;
+  Alcotest.(check int) "no late watchdog reply" 1 (List.length !replies);
+  Alcotest.(check int) "no kills" 0 (List.length s.killed);
+  sim_cleanup sup s
+
+let test_sup_watchdog () =
+  let s = sim () in
+  let replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~watchdog:3. ~count:1
+      ~spawn:(fake_spawn s) ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  ignore
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  s.now <- 4.;
+  Supervisor.tick sup;
+  (match !replies with
+   | [ ("degraded", Some "W049", line) ] ->
+     Alcotest.(check bool) "reply names the deadline" true
+       (contains line "deadline")
+   | _ -> Alcotest.fail "expected one W049 degraded reply");
+  Alcotest.(check bool) "hung pid SIGKILLed" true (s.killed = [ pid0 ]);
+  Alcotest.(check int) "watchdog_kills" 1 (Supervisor.watchdog_kills sup);
+  Alcotest.(check int) "answered: nothing inflight" 0 (Supervisor.inflight sup);
+  (* a late reply from the doomed worker is dropped *)
+  send_frame s pid0 (Worker.envelope ~line:"late\n" ~status:"complete" ~code:None);
+  drain_fds sup;
+  Alcotest.(check int) "late frame dropped" 1 (List.length !replies);
+  (* the reap classifies the SIGKILL as a crash but sends no E029 *)
+  Queue.add (pid0, Unix.WSIGNALED Sys.sigkill) s.exits;
+  Alcotest.(check int) "reaped" 1 (Supervisor.reap sup);
+  Alcotest.(check int) "no extra reply at reap" 1 (List.length !replies);
+  Alcotest.(check int) "restart counted" 1 (Supervisor.restarts sup);
+  (* cooldown, then the slot comes back *)
+  (match Supervisor.next_wakeup sup with
+   | Some u -> s.now <- u
+   | None -> Alcotest.fail "a cooldown must be scheduled");
+  Supervisor.tick sup;
+  Alcotest.(check int) "respawned" 2 s.spawned;
+  Alcotest.(check int) "ready again" 1 (Supervisor.ready sup);
+  sim_cleanup sup s
+
+let test_sup_crash_e029 () =
+  let s = sim () in
+  let replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:1 ~spawn:(fake_spawn s)
+      ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  ignore
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  Queue.add (pid0, Unix.WSIGNALED Sys.sigsegv) s.exits;
+  Alcotest.(check int) "reaped" 1 (Supervisor.reap sup);
+  (match !replies with
+   | [ ("error", Some "E029", line) ] ->
+     Alcotest.(check bool) "cause in the reply" true (contains line "SIGSEGV")
+   | _ -> Alcotest.fail "expected exactly one E029 reply");
+  Alcotest.(check int) "restart counted" 1 (Supervisor.restarts sup);
+  Alcotest.(check int) "not a recycle" 0 (Supervisor.recycles sup);
+  Alcotest.(check int) "nothing inflight" 0 (Supervisor.inflight sup);
+  sim_cleanup sup s
+
+let test_sup_recycle_idle () =
+  let s = sim () in
+  let replies, _reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:1 ~spawn:(fake_spawn s)
+      ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  Queue.add (pid0, Unix.WEXITED 0) s.exits;
+  Alcotest.(check int) "reaped" 1 (Supervisor.reap sup);
+  Alcotest.(check int) "recycle counted" 1 (Supervisor.recycles sup);
+  Alcotest.(check int) "not a restart" 0 (Supervisor.restarts sup);
+  Alcotest.(check int) "no reply for an idle exit" 0 (List.length !replies);
+  (* recycling carries no backoff: the replacement spawns immediately *)
+  Supervisor.tick sup;
+  Alcotest.(check int) "respawned at once" 2 s.spawned;
+  Alcotest.(check int) "ready" 1 (Supervisor.ready sup);
+  sim_cleanup sup s
+
+let test_sup_exit0_midrequest () =
+  let s = sim () in
+  let replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:1 ~spawn:(fake_spawn s)
+      ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  ignore
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  Queue.add (pid0, Unix.WEXITED 0) s.exits;
+  ignore (Supervisor.reap sup);
+  (* an exit 0 with a request in hand is a fault, not a recycle: the
+     client gets its E029 and the slot pays crash backoff *)
+  (match !replies with
+   | [ ("error", Some "E029", _) ] -> ()
+   | _ -> Alcotest.fail "expected an E029 for the abandoned request");
+  Alcotest.(check int) "classified as a crash" 1 (Supervisor.restarts sup);
+  Alcotest.(check int) "not a recycle" 0 (Supervisor.recycles sup);
+  sim_cleanup sup s
+
+let test_sup_backoff () =
+  let policy =
+    Backoff.policy ~base:1. ~cap:8. ~max_attempts:1000 ~budget:1e9 ()
+  in
+  let s = sim () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~policy ~healthy_after:5. ~count:1
+      ~spawn:(fake_spawn s) ~on_child:ignore ()
+  in
+  let crash () =
+    Queue.add (s.next_pid - 1, Unix.WSIGNALED Sys.sigsegv) s.exits;
+    ignore (Supervisor.reap sup)
+  in
+  let delay () =
+    match Supervisor.next_wakeup sup with
+    | Some u -> u -. s.now
+    | None -> Alcotest.fail "a cooldown must be scheduled"
+  in
+  let respawn () =
+    (match Supervisor.next_wakeup sup with
+     | Some u -> s.now <- u
+     | None -> Alcotest.fail "a cooldown must be scheduled");
+    Supervisor.tick sup
+  in
+  (* rand is the identity in sim_hooks, so delays are the full jitter
+     ceiling: deterministic and strictly growing until the cap *)
+  crash ();
+  let d1 = delay () in
+  Alcotest.(check bool) "first delay positive" true (d1 > 0.);
+  respawn ();
+  crash ();
+  let d2 = delay () in
+  Alcotest.(check bool) "instant re-crash: delay grows" true (d2 > d1);
+  respawn ();
+  for _ = 1 to 8 do
+    crash ();
+    Alcotest.(check bool) "delay never exceeds the cap" true
+      (delay () <= 8. +. 1e-9);
+    respawn ()
+  done;
+  (* a healthy uptime earns the attempts back *)
+  s.now <- s.now +. 6.;
+  crash ();
+  Alcotest.(check (float 1e-9)) "healthy uptime resets the walk" d1 (delay ());
+  sim_cleanup sup s
+
+let test_sup_quorum () =
+  let s = sim () in
+  let _replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:2 ~min_ready:2
+      ~spawn:(fake_spawn s) ~on_child:ignore ()
+  in
+  let p0 = s.next_pid - 2 and p1 = s.next_pid - 1 in
+  Alcotest.(check bool) "quorum with both up" true (Supervisor.quorum sup);
+  Alcotest.(check int) "alive" 2 (Supervisor.alive sup);
+  Queue.add (p0, Unix.WSIGNALED Sys.sigkill) s.exits;
+  Queue.add (p1, Unix.WSIGNALED Sys.sigkill) s.exits;
+  Alcotest.(check int) "both reaped" 2 (Supervisor.reap sup);
+  Alcotest.(check int) "none alive" 0 (Supervisor.alive sup);
+  Alcotest.(check bool) "quorum lost" false (Supervisor.quorum sup);
+  Alcotest.(check int) "min_ready exposed" 2 (Supervisor.min_ready sup);
+  Alcotest.(check bool) "dispatch refused on a dead pool" false
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  (match Supervisor.next_wakeup sup with
+   | Some u -> s.now <- u
+   | None -> Alcotest.fail "cooldowns must be scheduled");
+  Supervisor.tick sup;
+  Alcotest.(check int) "both respawned" 4 s.spawned;
+  Alcotest.(check bool) "quorum regained" true (Supervisor.quorum sup);
+  sim_cleanup sup s
+
+let test_sup_abort () =
+  let s = sim () in
+  let replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:1 ~spawn:(fake_spawn s)
+      ~on_child:ignore ()
+  in
+  let pid0 = s.next_pid - 1 in
+  ignore
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  Alcotest.(check int) "one aborted" 1
+    (Supervisor.abort_inflight sup ~code:"H053" ~reason:"drain"
+       ~message:"draining");
+  (match !replies with
+   | [ ("degraded", Some "H053", _) ] -> ()
+   | _ -> Alcotest.fail "expected one H053 degraded reply");
+  Alcotest.(check int) "second abort finds nothing" 0
+    (Supervisor.abort_inflight sup ~code:"H053" ~reason:"drain"
+       ~message:"draining");
+  (* the worker's own answer arrives after the abort: dropped *)
+  send_frame s pid0 (Worker.envelope ~line:"late\n" ~status:"complete" ~code:None);
+  drain_fds sup;
+  Alcotest.(check int) "late answer dropped" 1 (List.length !replies);
+  sim_cleanup sup s
+
+let test_sup_failover () =
+  let s = sim () in
+  let _replies, reply = recorder () in
+  let sup =
+    Supervisor.start ~hooks:(sim_hooks s) ~count:2 ~spawn:(fake_spawn s)
+      ~on_child:ignore ()
+  in
+  let p0 = s.next_pid - 2 in
+  (* break slot 0's pipe: its dispatch write will fail *)
+  (match List.assoc_opt p0 s.peers with
+   | Some fd -> Unix.close fd
+   | None -> Alcotest.fail "peer fd tracked");
+  s.peers <- List.remove_assoc p0 s.peers;
+  Alcotest.(check bool) "dispatch fails over to the healthy worker" true
+    (Supervisor.dispatch sup ~line:"{}" ~req_id:None ~write_deadline:(wdl ())
+       ~reply);
+  Alcotest.(check bool) "broken worker killed" true (List.mem p0 s.killed);
+  Alcotest.(check int) "request landed on the sibling" 1 (Supervisor.busy sup);
+  Alcotest.(check int) "one inflight" 1 (Supervisor.inflight sup);
+  sim_cleanup sup s
+
+(* --- supervisor: qcheck properties ------------------------------------ *)
+
+let prop_next_attempts =
+  QCheck.Test.make
+    ~name:"supervisor: crash count resets after healthy uptime, else grows"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (h, u, a) ->
+         Printf.sprintf "healthy_after=%g uptime=%g attempts=%d" h u a)
+       QCheck.Gen.(
+         triple (float_range 0.1 10.) (float_range 0. 20.) (int_range 0 50)))
+    (fun (healthy_after, uptime, attempts) ->
+      let n = Supervisor.next_attempts ~healthy_after ~uptime ~attempts in
+      if uptime >= healthy_after then n = 1 else n = attempts + 1)
+
+let prop_restart_delay_bounded =
+  QCheck.Test.make
+    ~name:"supervisor: restart delay bounded by the cap, monotone in attempts"
+    ~count:500
+    QCheck.(pair policy_arb (pair (int_range 1 60) int))
+    (fun (pspec, (attempts, seed)) ->
+      let p = mk_policy pspec in
+      let st = Random.State.make [| seed |] in
+      let d =
+        Supervisor.restart_delay p ~rand:(Random.State.float st) ~attempts
+      in
+      let id x = x in
+      let here = Supervisor.restart_delay p ~rand:id ~attempts in
+      let next = Supervisor.restart_delay p ~rand:id ~attempts:(attempts + 1) in
+      d >= 0. && d <= p.Backoff.cap && here <= next)
+
+(* The exactly-once invariant: one dispatched request, an arbitrary
+   interleaving of worker reply, worker death, watchdog expiry and
+   no-op ticks, with a drain abort at the end — the client hears back
+   exactly once no matter the order. *)
+let prop_sup_single_reply =
+  let event_gen = QCheck.Gen.oneofl [ `Frame; `Exit; `Watchdog; `Tick ] in
+  let print_event = function
+    | `Frame -> "frame"
+    | `Exit -> "exit"
+    | `Watchdog -> "watchdog"
+    | `Tick -> "tick"
+  in
+  QCheck.Test.make
+    ~name:"supervisor: a dispatched request is answered exactly once"
+    ~count:150
+    (QCheck.make
+       ~print:(fun evs -> String.concat "," (List.map print_event evs))
+       QCheck.Gen.(list_size (int_range 0 6) event_gen))
+    (fun events ->
+      let s = sim () in
+      let policy =
+        Backoff.policy ~base:0.1 ~cap:1. ~max_attempts:1000 ~budget:1e9 ()
+      in
+      let sup =
+        Supervisor.start ~hooks:(sim_hooks s) ~policy ~watchdog:3. ~count:1
+          ~spawn:(fake_spawn s) ~on_child:ignore ()
+      in
+      let pid0 = s.next_pid - 1 in
+      let n_replies = ref 0 in
+      let reply ~status:_ ~code:_ _ = incr n_replies in
+      let ok =
+        Supervisor.dispatch sup ~line:"{}" ~req_id:None
+          ~write_deadline:(wdl ()) ~reply
+      in
+      let exited = ref false in
+      List.iter
+        (fun ev ->
+          match ev with
+          | `Frame ->
+            send_frame s pid0
+              (Worker.envelope ~line:"r\n" ~status:"complete" ~code:None);
+            drain_fds sup
+          | `Exit ->
+            if not !exited then begin
+              exited := true;
+              Queue.add (pid0, Unix.WSIGNALED Sys.sigkill) s.exits
+            end;
+            ignore (Supervisor.reap sup)
+          | `Watchdog ->
+            s.now <- s.now +. 10.;
+            Supervisor.tick sup
+          | `Tick -> Supervisor.tick sup)
+        events;
+      ignore
+        (Supervisor.abort_inflight sup ~code:"H053" ~reason:"drain"
+           ~message:"draining");
+      sim_cleanup sup s;
+      ok && !n_replies = 1)
+
 (* --- suites ----------------------------------------------------------- *)
 
 let case name f = Alcotest.test_case name `Quick f
@@ -361,7 +1043,8 @@ let case name f = Alcotest.test_case name `Quick f
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_delay_within_bounds; prop_ceiling_monotone;
-      prop_budget_bounds_sleep; prop_jsonl_roundtrip; prop_jsonl_total ]
+      prop_budget_bounds_sleep; prop_jsonl_roundtrip; prop_jsonl_total;
+      prop_next_attempts; prop_restart_delay_bounded; prop_sup_single_reply ]
 
 let suites =
   [ ( "server.backoff-breaker-admission",
@@ -376,7 +1059,36 @@ let suites =
         case "jsonl: nesting depth limit" test_jsonl_depth_limit;
         case "parse_request: well-formed" test_parse_request_ok;
         case "parse_request: malformations are E024" test_parse_request_bad;
-        case "replies round-trip through parse_reply" test_reply_roundtrip ] );
+        case "replies round-trip through parse_reply" test_reply_roundtrip;
+        case "client: which replies are retried" test_client_retry_classification ] );
+    ( "server.failpoint",
+      [ case "parse_spec: grammar, delay units, rejects" test_failpoint_parse;
+        case "triggers: @N, @N+, off counting, disarm" test_failpoint_triggers;
+        case "arm_spec / arm_env / re-arm keeps counts" test_failpoint_arm ] );
+    ( "server.worker",
+      [ case "frame codec: order, split delivery, eof" test_frame_codec;
+        case "frame codec: corrupt length is an error" test_frame_corrupt;
+        case "frame codec: blocking child read" test_frame_read_blocking;
+        case "envelope round-trips with failpoint counters"
+          test_envelope_roundtrip;
+        case "exit classification" test_classify;
+        case "failpoint-driven crash/exit classification (forked)"
+          test_classify_forked;
+        case "recycling thresholds" test_should_retire ] );
+    ( "server.supervisor",
+      [ case "worker reply answers once; watchdog stays quiet"
+          test_sup_frame_reply;
+        case "watchdog: W049 once, SIGKILL, restart after cooldown"
+          test_sup_watchdog;
+        case "crash mid-request: E029 exactly once" test_sup_crash_e029;
+        case "idle exit 0 is a recycle, not a crash" test_sup_recycle_idle;
+        case "exit 0 mid-request is a crash with E029"
+          test_sup_exit0_midrequest;
+        case "crash-loop backoff: capped, resets when healthy"
+          test_sup_backoff;
+        case "quorum flips with deaths and respawns" test_sup_quorum;
+        case "drain aborts in-flight exactly once" test_sup_abort;
+        case "dispatch fails over a broken worker pipe" test_sup_failover ] );
     ( "server.guard-fork",
       [ case "fork caps child by parent remaining"
           test_fork_caps_child_by_remaining;
