@@ -900,13 +900,23 @@ let report_serve () =
        \"throughput_rps\": %.1f}"
       label workers n_requests n_clients p50 p95 p99 tp
   in
+  let gated = cores >= 4 in
+  let note =
+    if gated then ""
+    else
+      Printf.sprintf
+        ",\n  \"note\": \"speedup target not enforced: only %d cores \
+         available; the pool cannot parallelize\""
+        cores
+  in
   let json =
     Printf.sprintf
       "{\n  \"experiment\": \"serve\",\n  \"description\": \"concurrent \
        request throughput against warm mdqa serve over a Unix socket, \
        inline vs supervised worker pool\",\n  \"cores\": %d,\n  \
+       \"gated\": %b%s,\n  \
        \"pool_speedup\": %.4f,\n  \"rows\": [\n%s,\n%s\n  ]\n}\n"
-      cores speedup
+      cores gated note speedup
       (row ~label:"workers=0" ~workers:0 p50_0 p95_0 p99_0 tp_0)
       (row ~label:"workers=4" ~workers:4 p50_4 p95_4 p99_4 tp_4)
   in

@@ -45,6 +45,8 @@ module Sproto = Mdqa_server.Protocol
 module Jsonl = Mdqa_server.Jsonl
 module Backoff = Mdqa_server.Backoff
 module Fdio = Mdqa_server.Fdio
+module Replication = Mdqa_server.Replication
+module Metrics = Mdqa_obs.Metrics
 module Logger = Mdqa_obs.Logger
 module Trace = Mdqa_obs.Trace
 module Failpoint = Mdqa_obs.Failpoint
@@ -1055,11 +1057,39 @@ let worker_max_heap_arg =
     & info [ "worker-max-heap" ] ~docv:"MB"
         ~doc:"Recycle a worker whose heap exceeds $(docv) MiB (0 disables).")
 
+let replica_of_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"ADDR"
+        ~doc:
+          "Run as a hot standby of the $(b,mdqa serve) primary at $(docv) \
+           (Unix socket path or host:port).  The primary's snapshot and \
+           journal are shipped into $(b,--store) (required) before \
+           serving starts, then followed live; queries are answered \
+           read-only with a W050 stale-read tag.  $(b,mdqa promote), or \
+           $(b,--promote-after) consecutive missed heartbeats, turns the \
+           standby into a primary.")
+
+let repl_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "repl-interval" ] ~docv:"SEC"
+        ~doc:"Standby heartbeat/poll period against the primary.")
+
+let promote_after_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "promote-after" ] ~docv:"N"
+        ~doc:
+          "Consecutive missed heartbeats after which the standby declares \
+           the primary lost and promotes itself (0 never auto-promotes).")
+
 let run_serve file socket port host store max_queue read_timeout
     request_timeout request_max_steps max_request_bytes checkpoint_every
     drain_grace workers watchdog min_ready worker_max_requests
-    worker_max_heap_mb max_steps max_nulls max_checkpoint_bytes verbose
-    log_level log_json =
+    worker_max_heap_mb replica_of repl_interval promote_after max_steps
+    max_nulls max_checkpoint_bytes verbose log_level log_json =
   run_protected @@ fun () ->
   setup_logging ~log_json ?log_level verbose;
   (* Deterministic fault injection for the chaos harness: scripted
@@ -1080,29 +1110,71 @@ let run_serve file socket port host store max_queue read_timeout
     | None, None -> fatal ~code:"E024" "serve needs --socket PATH or --port N"
   in
   let guard = Guard.create ~max_steps ~max_nulls ?max_checkpoint_bytes () in
-  match Service.load ~guard ?store ~checkpoint_every ?program_file:file () with
-  | Error diags ->
-    report_error_diags diags;
-    raise Fatal_diags
-  | Ok svc ->
+  let cfg svc =
+    { Server.addr;
+      max_queue;
+      max_clients = 128;
+      read_timeout;
+      write_timeout = read_timeout;
+      max_request_bytes;
+      request_timeout;
+      request_max_steps;
+      drain_grace;
+      workers;
+      watchdog;
+      min_ready;
+      worker_max_requests;
+      worker_max_heap_mb }
+    |> fun c ->
     Failpoint.attach_metrics (Service.metrics svc);
-    let cfg =
-      { Server.addr;
-        max_queue;
-        max_clients = 128;
-        read_timeout;
-        write_timeout = read_timeout;
-        max_request_bytes;
-        request_timeout;
-        request_max_steps;
-        drain_grace;
-        workers;
-        watchdog;
-        min_ready;
-        worker_max_requests;
-        worker_max_heap_mb }
+    c
+  in
+  match replica_of with
+  | Some primary -> (
+    (* Standby: sync the primary's store down first, then warm-start
+       from the shipped bytes and follow.  Workers are forbidden — a
+       standby answers read-only and inline; forked children would
+       hold stale copies of a fixpoint that changes on every applied
+       frame. *)
+    if workers > 0 then
+      fatal ~code:"E024" "--workers cannot be combined with --replica-of";
+    if file <> None then
+      fatal ~code:"E024"
+        "--replica-of takes its program from the shipped store; drop the \
+         FILE argument";
+    let store_path =
+      match store with
+      | Some s -> s
+      | None ->
+        fatal ~code:"E024"
+          "--replica-of needs --store PATH for the local replica files"
     in
-    Server.run cfg svc
+    let metrics = Metrics.create () in
+    let follower =
+      Replication.Follower.create ~interval:repl_interval
+        ~promote_after ~primary ~store_path ~metrics ()
+    in
+    (match Replication.Follower.initial_sync follower with
+    | Error d ->
+      report_error_diags [ d ];
+      raise Fatal_diags
+    | Ok () -> ());
+    match
+      Service.load_replica ~guard ~metrics ~checkpoint_every
+        ~store:store_path ()
+    with
+    | Error diags ->
+      report_error_diags diags;
+      raise Fatal_diags
+    | Ok svc -> Server.run ~follower (cfg svc) svc)
+  | None -> (
+    match
+      Service.load ~guard ?store ~checkpoint_every ?program_file:file ()
+    with
+    | Error diags ->
+      report_error_diags diags;
+      raise Fatal_diags
+    | Ok svc -> Server.run (cfg svc) svc)
 
 let serve_cmd =
   Cmd.v
@@ -1114,13 +1186,17 @@ let serve_cmd =
           fork, \
           a crashed request costs one error reply, checkpoint I/O sits \
           behind a circuit breaker, and SIGTERM drains gracefully \
-          (exit 0, or 2 when anything was degraded on the way out).")
+          (exit 0, or 2 when anything was degraded on the way out).  \
+          With $(b,--replica-of) the server runs as a hot standby: \
+          snapshot and journal shipped from the primary, followed live, \
+          promoted on $(b,mdqa promote) or primary loss.")
     Cterm.(
       const run_serve $ serve_file_arg $ socket_arg $ port_arg $ host_arg
       $ serve_store_arg $ max_queue_arg $ serve_read_timeout_arg
       $ request_timeout_arg $ request_max_steps_arg $ max_request_bytes_arg
       $ checkpoint_every_arg $ drain_grace_arg $ workers_arg $ watchdog_arg
       $ min_ready_arg $ worker_max_requests_arg $ worker_max_heap_arg
+      $ replica_of_arg $ repl_interval_arg $ promote_after_arg
       $ max_steps_arg $ max_nulls_arg $ max_checkpoint_bytes_arg $ verbose_arg
       $ log_level_arg $ log_json_arg)
 
@@ -1265,7 +1341,12 @@ let remote_addr_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"ADDR" ~doc:"Unix socket path or host:port of mdqa serve.")
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "Unix socket path or host:port of mdqa serve.  A comma-separated \
+           list (e.g. $(b,primary:7401,standby:7401)) enables failover: \
+           when a connect is refused the client rotates to the next \
+           endpoint on the retry path ($(b,--retry)).")
 
 let slow_arg =
   Arg.(
@@ -1364,6 +1445,45 @@ let metrics_cmd =
     Cterm.(
       const run_metrics $ metrics_remote_arg $ spans_flag_arg
       $ retry_attempts_arg $ retry_budget_arg)
+
+(* --- promote: turn a standby into a primary -------------------------- *)
+
+let promote_remote_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"ADDR"
+        ~doc:"Unix socket path or host:port of the standby to promote.")
+
+let run_promote addr attempts budget =
+  run_protected @@ fun () ->
+  let policy = Backoff.policy ~max_attempts:attempts ~budget () in
+  let client = Client.create ~policy ~addr () in
+  let req = Jsonl.to_string (Jsonl.Obj [ ("kind", Jsonl.Str "promote") ]) in
+  let rc =
+    match Client.roundtrip client req with
+    | Error e ->
+      Logger.error e;
+      exit_error
+    | Ok r ->
+      print_endline (Jsonl.to_string r.Sproto.json);
+      if r.Sproto.status = "complete" then exit_complete else exit_error
+  in
+  Client.close client;
+  rc
+
+let promote_cmd =
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a running $(b,mdqa serve) standby to primary: it stops \
+          following, takes ownership of its store (periodic checkpoints \
+          resume, one forced immediately) and starts answering without \
+          the stale-read tag.  Idempotent: promoting a primary reports \
+          promoted:false and exits 0.")
+    Cterm.(
+      const run_promote $ promote_remote_arg $ retry_attempts_arg
+      $ retry_budget_arg)
 
 (* --- trace: validate exported trace files ---------------------------- *)
 
@@ -1468,6 +1588,6 @@ let main_cmd =
           assessment — Datalog± engine CLI.")
     [ chase_cmd; resume_cmd; store_cmd; query_cmd; classify_cmd; check_cmd;
       consistency_cmd; context_cmd; serve_cmd; remote_cmd; metrics_cmd;
-      trace_cmd ]
+      promote_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

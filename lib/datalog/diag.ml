@@ -33,6 +33,8 @@ let registry =
     ("E027", "request-crashed");
     ("E028", "repair-failed");
     ("E029", "worker-crashed");
+    ("E030", "replication-divergence");
+    ("E031", "replication-refused");
     ("W040", "undefined-predicate");
     ("W041", "not-weakly-sticky");
     ("W042", "quality-version-undefined");
@@ -43,11 +45,13 @@ let registry =
     ("W047", "overload-shed");
     ("W048", "breaker-open");
     ("W049", "watchdog-kill");
+    ("W050", "stale-read");
     ("H050", "qa-path");
     ("H051", "unused-map-target");
     ("H052", "stale-checkpoint-temp");
     ("H053", "server-drain");
-    ("H054", "workers-unavailable") ]
+    ("H054", "workers-unavailable");
+    ("H055", "promoted") ]
 
 let describe code = List.assoc_opt code registry
 let codes = registry

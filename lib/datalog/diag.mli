@@ -24,14 +24,19 @@
     - [E019] invalid-rule, [E020] non-dimensional-constraint, [E021]
       dangling-wiring, [E022] csv-error, [E023] store-corrupt;
     - [E024] invalid-request, [E025] oversized-request, [E026]
-      request-timeout, [E027] request-crashed, [E028] repair-failed
-      (the server front door and repair pipeline);
+      request-timeout, [E027] request-crashed, [E028] repair-failed,
+      [E029] worker-crashed (the server front door, repair pipeline
+      and worker pool);
+    - [E030] replication-divergence, [E031] replication-refused (the
+      primary/standby replication layer);
     - [W040] undefined-predicate, [W041] not-weakly-sticky, [W042]
       quality-version-undefined, [W043] non-strict-hierarchy, [W044]
       non-homogeneous-hierarchy, [W045] referential-violation, [W046]
-      store-truncated, [W047] overload-shed, [W048] breaker-open;
+      store-truncated, [W047] overload-shed, [W048] breaker-open,
+      [W049] watchdog-kill, [W050] stale-read;
     - [H050] qa-path, [H051] unused-map-target, [H052]
-      stale-checkpoint-temp, [H053] server-drain. *)
+      stale-checkpoint-temp, [H053] server-drain, [H054]
+      workers-unavailable, [H055] promoted. *)
 
 type severity = Error | Warning | Hint
 

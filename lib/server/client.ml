@@ -1,14 +1,16 @@
 type endpoint = Unix_path of string | Tcp of string * int
 
 type t = {
-  addr : endpoint;
+  endpoints : endpoint array;  (** at least one; [current] rotates *)
   policy : Backoff.policy;
   rand : float -> float;
+  mutable current : int;
   mutable fd : Unix.file_descr option;
   ibuf : Buffer.t;
   mutable retries : int;
   mutable retried_total : int;
       (** roundtrips that needed at least one retry *)
+  mutable rotations : int;  (** failovers to another endpoint *)
 }
 
 let parse_addr s =
@@ -21,15 +23,27 @@ let parse_addr s =
       | None -> Unix_path s)
     | _ -> Unix_path s
 
+let string_of_endpoint = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
 let create ?(policy = Backoff.default_policy) ?(rand = Random.float) ~addr () =
   Fdio.ignore_sigpipe ();
-  { addr = parse_addr addr;
+  let parts =
+    String.split_on_char ',' addr
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parts = if parts = [] then [ addr ] else parts in
+  { endpoints = Array.of_list (List.map parse_addr parts);
     policy;
     rand;
+    current = 0;
     fd = None;
     ibuf = Buffer.create 256;
     retries = 0;
-    retried_total = 0 }
+    retried_total = 0;
+    rotations = 0 }
 
 let disconnect t =
   (match t.fd with
@@ -41,6 +55,11 @@ let disconnect t =
 let close = disconnect
 let retries t = t.retries
 let retried_total t = t.retried_total
+let rotations t = t.rotations
+let current_addr t = string_of_endpoint t.endpoints.(t.current)
+
+let endpoints t =
+  Array.to_list (Array.map string_of_endpoint t.endpoints)
 
 (* Which parsed replies are worth retrying.  An overload shed always
    is (the server said "come back later").  An E029 — the request died
@@ -54,37 +73,58 @@ let should_retry_reply ~idempotent (r : Protocol.reply) =
     Some "worker crashed mid-request"
   else None
 
-let connect_fd = function
-  | Unix_path path -> (
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+(* The refused/unreachable signature of a dead endpoint.  These happen
+   at connect time — before a single request byte is sent — so
+   retrying is safe even for non-idempotent requests, and they are the
+   failover trigger: rotate to the next endpoint before retrying. *)
+let endpoint_down = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.EHOSTUNREACH | Unix.ENETUNREACH
+        | Unix.ENOENT | Unix.ETIMEDOUT ),
+        _, _ ) ->
+    true
+  | _ -> false
+
+let connect_fd ep =
+  let attempt fd sockaddr =
     try
-      Unix.connect fd (Unix.ADDR_UNIX path);
+      Unix.connect fd sockaddr;
       Ok fd
     with e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (Printexc.to_string e))
+      Error (endpoint_down e, Printexc.to_string e)
+  in
+  match ep with
+  | Unix_path path ->
+    attempt
+      (Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
+      (Unix.ADDR_UNIX path)
   | Tcp (host, port) -> (
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    try
-      let inet =
-        try Unix.inet_addr_of_string host
-        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
-      Unix.connect fd (Unix.ADDR_INET (inet, port));
-      Ok fd
-    with e ->
+    match
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with
+    | inet -> attempt fd (Unix.ADDR_INET (inet, port))
+    | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (Printexc.to_string e))
+      Error (endpoint_down e, Printexc.to_string e))
 
 let ensure_connected t =
   match t.fd with
   | Some fd -> Ok fd
   | None -> (
-    match connect_fd t.addr with
+    match connect_fd t.endpoints.(t.current) with
     | Ok fd ->
       t.fd <- Some fd;
       Ok fd
-    | Error _ as e -> e)
+    | Error (down, msg) ->
+      let failed = string_of_endpoint t.endpoints.(t.current) in
+      if down && Array.length t.endpoints > 1 then begin
+        t.current <- (t.current + 1) mod Array.length t.endpoints;
+        t.rotations <- t.rotations + 1
+      end;
+      Error (Printf.sprintf "%s: %s" failed msg))
 
 let read_reply t fd =
   let chunk = Bytes.create 65536 in
@@ -113,6 +153,9 @@ let roundtrip ?(idempotent = true) t line =
   let rec attempt () =
     let outcome =
       match ensure_connected t with
+      (* connect-stage failure: the request was never sent, so the
+         retry is safe regardless of idempotence (and may land on a
+         rotated endpoint) *)
       | Error e -> `Transient e
       | Ok fd -> (
         match Fdio.write_all fd (line ^ "\n") with

@@ -1,4 +1,5 @@
-(** Retrying client for the [mdqa serve] protocol.
+(** Retrying client for the [mdqa serve] protocol, with multi-endpoint
+    failover.
 
     Transient failures — the server restarting (connection refused, a
     vanished socket file), a torn connection, a [degraded:overload]
@@ -6,7 +7,17 @@
     with full jitter, bounded by both an attempt count and a
     cumulative-sleep budget.  Everything else (an error reply, garbage
     on the wire, budget exhausted) comes back as a value.  Never
-    raises on I/O. *)
+    raises on I/O.
+
+    Connect-stage failures are classified by errno.  The dead-endpoint
+    signature (ECONNREFUSED, EHOSTUNREACH, ENETUNREACH, ENOENT,
+    ETIMEDOUT) happens before a single request byte is sent, so the
+    retry is safe even for non-idempotent requests — and when the
+    client was given several endpoints, it rotates to the next one
+    before retrying.  That is the whole failover story: point a client
+    at ["primary,standby"] and a SIGKILL'd primary turns into one
+    connection-refused miss, a rotation, and the reply coming from the
+    standby. *)
 
 type t
 
@@ -16,9 +27,11 @@ val create :
   addr:string ->
   unit ->
   t
-(** [addr] is a Unix socket path, or [host:port] when the suffix after
-    the last [:] parses as a port and the string contains no [/].
-    No connection is made until the first {!roundtrip}. *)
+(** [addr] is one endpoint or a comma-separated failover list tried in
+    order.  Each endpoint is a Unix socket path, or [host:port] when
+    the suffix after the last [:] parses as a port and the string
+    contains no [/].  No connection is made until the first
+    {!roundtrip}. *)
 
 val roundtrip :
   ?idempotent:bool -> t -> string -> (Protocol.reply, string) result
@@ -52,6 +65,16 @@ val retried_total : t -> int
 (** Roundtrips that needed at least one retry before resolving (in
     either direction) — the "how often was the first attempt not
     enough" number, vs {!retries} which counts every extra attempt. *)
+
+val rotations : t -> int
+(** Failovers taken: how often a dead-endpoint connect failure rotated
+    the client to the next endpoint. *)
+
+val current_addr : t -> string
+(** The endpoint the next connection attempt will target. *)
+
+val endpoints : t -> string list
+(** All configured endpoints, in failover order. *)
 
 val close : t -> unit
 (** Drop the connection (idempotent); the next roundtrip reconnects. *)

@@ -18,10 +18,25 @@ type request =
   | Ping of { id : Jsonl.t option }
   | Metrics of { id : Jsonl.t option }
   | Spans of { id : Jsonl.t option }
+  | Repl_status of { id : Jsonl.t option; acked : int option }
+      (** a standby's heartbeat: the primary's replication status, and
+          (when [acked] is given) the standby reporting the journal
+          high-water mark it has durably applied *)
+  | Repl_fetch of {
+      id : Jsonl.t option;
+      what : [ `Snapshot | `Journal ];
+      offset : int;
+      len : int;
+      epoch : int;
+          (** the snapshot-image CRC the standby is resuming against;
+          [0] starts a fresh ship *)
+    }
+  | Promote of { id : Jsonl.t option }
 
 let request_id = function
   | Query { id; _ } | Health { id } | Ready { id } | Ping { id }
-  | Metrics { id } | Spans { id } ->
+  | Metrics { id } | Spans { id } | Repl_status { id; _ }
+  | Repl_fetch { id; _ } | Promote { id } ->
     id
 
 let request_kind = function
@@ -31,6 +46,9 @@ let request_kind = function
   | Ping _ -> "ping"
   | Metrics _ -> "metrics"
   | Spans _ -> "spans"
+  | Repl_status _ -> "repl.status"
+  | Repl_fetch _ -> "repl.fetch"
+  | Promote _ -> "promote"
 
 let bad message = Error (Diag.make Diag.Error ~code:"E024" message)
 
@@ -46,6 +64,38 @@ let parse_request line =
     | Some "ping" -> Ok (Ping { id })
     | Some "metrics" -> Ok (Metrics { id })
     | Some "spans" -> Ok (Spans { id })
+    | Some "promote" -> Ok (Promote { id })
+    | Some "repl.status" ->
+      let acked = Option.map int_of_float (Jsonl.num_field "acked" obj) in
+      if Option.fold ~none:false ~some:(fun n -> n < 0) acked then
+        bad "acked must be non-negative"
+      else Ok (Repl_status { id; acked })
+    | Some "repl.fetch" -> (
+      match Jsonl.str_field "what" obj with
+      | Some ("snapshot" | "journal" as w) ->
+        let what = if w = "snapshot" then `Snapshot else `Journal in
+        let int_field name default =
+          match Jsonl.num_field name obj with
+          | None -> Ok default
+          | Some f ->
+            let n = int_of_float f in
+            if n < 0 then
+              Error
+                (Diag.make Diag.Error ~code:"E024"
+                   (Printf.sprintf "%s must be non-negative" name))
+            else Ok n
+        in
+        let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+        let* offset = int_field "offset" 0 in
+        let* len = int_field "len" (1 lsl 16) in
+        let* epoch = int_field "epoch" 0 in
+        if len < 1 then bad "len must be at least 1"
+        else Ok (Repl_fetch { id; what; offset; len; epoch })
+      | Some other ->
+        bad
+          (Printf.sprintf "unknown repl.fetch target %S (want snapshot or journal)"
+             other)
+      | None -> bad "repl.fetch has no string \"what\" field")
     | Some "query" -> (
       match Jsonl.str_field "query" obj with
       | None -> bad "query request has no string \"query\" field"

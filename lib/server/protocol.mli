@@ -10,11 +10,22 @@
     {"kind": "ping"}
     {"kind": "metrics"}
     {"kind": "spans"}
+    {"kind": "repl.status", "acked": 8192}
+    {"kind": "repl.fetch", "what": "snapshot", "offset": 0,
+     "len": 65536, "epoch": 0}
+    {"kind": "promote"}
     v}
 
     [metrics] returns the server's metrics registry as a Prometheus
     text exposition (in the reply's ["exposition"] field); [spans]
     returns the tracer's buffered spans as a JSON list (["spans"]).
+
+    The [repl.*] requests are the pull-based replication plane a
+    standby drives against its primary (see {!Replication}): [status]
+    doubles as the heartbeat and ack carrier, [fetch] ships raw
+    snapshot-image or journal bytes as hex chunks with a per-chunk
+    CRC-32.  [promote] turns a standby into a primary (idempotent on a
+    primary).
 
     Replies always carry a ["status"] of ["complete"], ["degraded"] or
     ["error"] (the wire mirror of the CLI's 0/2/1 exit codes), echo the
@@ -41,6 +52,19 @@ type request =
   | Ping of { id : Jsonl.t option }
   | Metrics of { id : Jsonl.t option }
   | Spans of { id : Jsonl.t option }
+  | Repl_status of { id : Jsonl.t option; acked : int option }
+      (** standby heartbeat; [acked] reports the journal high-water
+          mark the standby has durably applied *)
+  | Repl_fetch of {
+      id : Jsonl.t option;
+      what : [ `Snapshot | `Journal ];
+      offset : int;  (** resume point, bytes *)
+      len : int;  (** max chunk size, bytes (default 64 KiB) *)
+      epoch : int;
+          (** the snapshot-image CRC-32 the standby is resuming
+              against; [0] starts a fresh ship *)
+    }
+  | Promote of { id : Jsonl.t option }
 
 val request_id : request -> Jsonl.t option
 

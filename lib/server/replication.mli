@@ -1,0 +1,136 @@
+(** Primary/standby hot-standby replication for [mdqa serve].
+
+    The design is pull-based and rides the ordinary JSONL protocol, so
+    the primary's single-threaded event loop needs no new connection
+    machinery: a standby is just a client that periodically sends
+    [repl.status] (the heartbeat, which doubles as the carrier for the
+    high-water mark it has durably applied) and [repl.fetch] (raw
+    snapshot-image or journal bytes as hex chunks, each protected by a
+    CRC-32 over the decoded bytes, resumable at any byte offset).
+
+    The unit of ship identity is the {e epoch}: the CRC-32 of the
+    primary's whole snapshot image.  Snapshot encoding is
+    deterministic, so a primary that checkpoints an unchanged fixpoint
+    keeps its epoch, and a standby that has the same epoch on disk
+    skips the snapshot ship entirely and fetches only the journal
+    suffix past what it already has.  An epoch change mid-ship makes
+    the primary answer [restart:true] with the new epoch; the standby
+    starts over from offset 0.
+
+    Failure model (see DESIGN.md §14):
+    - a torn journal tail shipped from the primary truncates on the
+      standby exactly as a local crash would — recovery is literally
+      the same code path;
+    - a chunk CRC mismatch discards the chunk and retries;
+    - divergence (the primary serves a different program section, or
+      the local journal is {e ahead} of the primary's high-water mark
+      at the same epoch) is E030 and never followed;
+    - a primary that stops answering heartbeats for [promote_after]
+      consecutive polls is declared lost; the server promotes the
+      standby (H055). *)
+
+val to_hex : string -> string
+(** Lowercase hex of every byte. *)
+
+val of_hex : string -> (string, string) result
+(** Inverse of {!to_hex}; accepts upper- and lowercase.  [Error] on odd
+    length or a non-hex digit. *)
+
+val default_chunk : int
+(** 64 KiB — the default [repl.fetch] length. *)
+
+(** The primary side: serves [repl.status] / [repl.fetch] / records
+    standby acks.  Purely reactive — owns no I/O loop. *)
+module Source : sig
+  type t
+
+  val create : metrics:Mdqa_obs.Metrics.t -> store_path:string option -> t
+  (** [store_path = None] (a store-less server) answers every fetch
+      with E031: there is nothing to replicate. *)
+
+  val fetch :
+    t ->
+    what:[ `Snapshot | `Journal ] ->
+    offset:int ->
+    len:int ->
+    epoch:int ->
+    ((string * Jsonl.t) list, Mdqa_datalog.Diag.t) result
+  (** Reply fields for one [repl.fetch]: [what]/[offset]/[total]/
+      [epoch]/[crc]/[data] (hex), or [restart:true] with the new epoch
+      when [epoch <> 0] no longer matches the current image.  Failpoints
+      [repl.ship] (snapshot) and [repl.frame] (journal) fire here.
+      [Error] is an E031 diagnostic (no store, unreadable files). *)
+
+  val record_ack : t -> int -> unit
+  (** A standby reported [acked] applied journal bytes: update the
+      lag gauges and the heartbeat clock. *)
+
+  val status_fields : t -> (string * Jsonl.t) list
+  (** Reply fields for [repl.status]: [epoch], [snapshot_bytes],
+      [hwm], [shippable], per-section CRCs and the last ack. *)
+
+  val hwm : t -> int
+  (** The primary's current journal length, bytes. *)
+end
+
+(** The standby side: drives the sync and steady-state polling against
+    the primary.  Owned by the standby server's event loop, which calls
+    {!Follower.tick} between [select] rounds. *)
+module Follower : sig
+  type t
+
+  val create :
+    ?policy:Backoff.policy ->
+    ?rand:(float -> float) ->
+    ?interval:float ->
+    ?promote_after:int ->
+    ?chunk:int ->
+    primary:string ->
+    store_path:string ->
+    metrics:Mdqa_obs.Metrics.t ->
+    unit ->
+    t
+  (** [interval] (default 1 s) is the heartbeat period;
+      [promote_after] (default 5; 0 = never) the consecutive missed
+      heartbeats that declare the primary lost; [chunk] the fetch
+      size.  [primary] is an address in {!Client.create} syntax. *)
+
+  val initial_sync : t -> (unit, Mdqa_datalog.Diag.t) result
+  (** Blocking: bring the local store in line with the primary before
+      the service warm-starts from it.  Resumes an interrupted ship at
+      the byte offset it left off; skips the snapshot entirely when
+      the local epoch already matches.  [Error] is an E030
+      (divergence — never retried) or E031 (primary unreachable after
+      the retry budget) diagnostic. *)
+
+  val tick :
+    t ->
+    apply:(Mdqa_store.Journal.record list -> unit) ->
+    resync:(Mdqa_store.Snapshot.t -> unit) ->
+    [ `Idle | `Applied of int | `Lost ]
+  (** One scheduling quantum.  Does nothing ([`Idle]) until the next
+      poll is due; otherwise heartbeats the primary and fetches /
+      applies whatever is new: [apply] receives fresh journal records
+      to replay into the warm instance, [resync] replaces the warm
+      instance wholesale after an epoch change.  [`Lost] means
+      [promote_after] consecutive heartbeats have now been missed —
+      the caller decides whether to promote. *)
+
+  val mark_promoted : t -> unit
+  (** Stop following (ticks become [`Idle]); bumps the promotion
+      counter.  Idempotent. *)
+
+  val promoted : t -> bool
+
+  val primary_addr : t -> string
+
+  val lag_fields : t -> (string * Jsonl.t) list
+  (** [lag_bytes] / [lag_s] / [primary] — merged into health replies. *)
+
+  val status_fields : t -> (string * Jsonl.t) list
+  (** The standby's own replication status, for [repl.status] asked of
+      a standby: primary address, epoch, applied bytes/records,
+      high-water mark, miss count, rounds, promoted flag. *)
+
+  val close : t -> unit
+end

@@ -3,6 +3,7 @@ module Guard = Mdqa_datalog.Guard
 module Metrics = Mdqa_obs.Metrics
 module Trace = Mdqa_obs.Trace
 module Logger = Mdqa_obs.Logger
+module Failpoint = Mdqa_obs.Failpoint
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -56,6 +57,10 @@ type state = {
       (** the raw line rides along: a dispatched request crosses the
           worker pipe verbatim *)
   mutable sup : Supervisor.t option;
+  source : Replication.Source.t;
+      (** the ship side of replication; inert until a standby fetches *)
+  follower : Replication.Follower.t option;
+      (** present iff this server started as a standby (--replica-of) *)
   mutable draining : bool;
   mutable drain_deadline : float;
   mutable degraded_events : int;
@@ -63,6 +68,21 @@ type state = {
           budget *)
   mutable crashed : int;
 }
+
+(* A promoted standby IS a primary — on the wire it says so, so a
+   cascading follower can point at it.  The distinction survives in
+   health fields and the role gauge. *)
+let standby st =
+  match st.follower with
+  | Some f -> not (Replication.Follower.promoted f)
+  | None -> false
+
+let role_name st = if standby st then "standby" else "primary"
+
+let role_gauge_value st =
+  match st.follower with
+  | None -> 0.
+  | Some f -> if Replication.Follower.promoted f then 2. else 1.
 
 (* Monotonic: deadlines (drain, write, slow-loris, watchdog) must not
    move when NTP steps the wall clock.  Wall time is only for logs. *)
@@ -112,6 +132,26 @@ let count_shed st =
 let worker_defaults cfg =
   { Worker.timeout = cfg.request_timeout; max_steps = cfg.request_max_steps }
 
+(* Promotion: stop following, take ownership of the store (periodic
+   checkpoints back on, one forced immediately so the new primary's
+   authority over the bytes is durable).  The [repl.promote] failpoint
+   fires first, so fault injection can kill the promotion path before
+   any state changes — retrying is then safe. *)
+let promote st ~reason =
+  match st.follower with
+  | Some f when not (Replication.Follower.promoted f) ->
+    Failpoint.hit "repl.promote";
+    Replication.Follower.mark_promoted f;
+    Service.enable_periodic_checkpoints st.svc;
+    ignore (Service.checkpoint st.svc ~force:true);
+    Logger.info
+      ~fields:
+        [ ("reason", Logger.Str reason);
+          ("old_primary", Logger.Str (Replication.Follower.primary_addr f)) ]
+      "mdqa serve: standby promoted to primary (H055)";
+    true
+  | _ -> false
+
 (* --- socket setup ----------------------------------------------------- *)
 
 let listen_socket = function
@@ -152,7 +192,16 @@ let server_fields st =
     ("connections",
      Jsonl.Num (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns))));
     ("crashed_requests", Jsonl.Num (float_of_int st.crashed));
-    ("draining", Jsonl.Bool st.draining) ]
+    ("draining", Jsonl.Bool st.draining);
+    ("role", Jsonl.Str (role_name st)) ]
+  @ (match st.follower with
+    | Some f ->
+      [ ("replication",
+         Jsonl.Obj
+           (Replication.Follower.lag_fields f
+           @ [ ("promoted", Jsonl.Bool (Replication.Follower.promoted f)) ]))
+      ]
+    | None -> [])
   @ match st.sup with Some s -> Supervisor.health_fields s | None -> []
 
 (* Refresh scrape-time gauges and render the Prometheus exposition.
@@ -172,6 +221,9 @@ let exposition st =
     (float_of_int (List.length (List.filter (fun c -> c.alive) st.conns)));
   set "mdqa_server_draining" "1 while the server drains"
     (if st.draining then 1. else 0.);
+  set "mdqa_replication_role"
+    "replication role (0=primary, 1=standby, 2=promoted standby)"
+    (role_gauge_value st);
   (match st.sup with
   | Some s -> Supervisor.record_metrics s m
   | None -> ());
@@ -200,7 +252,7 @@ let spans_json () =
 
 let answer st conn req =
   let id = Protocol.request_id req in
-  let reply =
+  let compute () =
     match req with
     | Protocol.Ping _ ->
       (Protocol.complete_reply ?id ~answers:None (), "complete", None)
@@ -226,13 +278,59 @@ let answer st conn req =
           [ ("spans", spans_json ()) ],
         "complete",
         None )
+    | Protocol.Repl_status { acked; _ } ->
+      if standby st then
+        (* a standby reports its own follower state; it has no
+           standbys of its own to record acks from *)
+        ( Protocol.obj_reply ?id ~status:"complete"
+            (("role", Jsonl.Str "standby")
+            :: Replication.Follower.status_fields (Option.get st.follower)),
+          "complete",
+          None )
+      else begin
+        Option.iter (Replication.Source.record_ack st.source) acked;
+        ( Protocol.obj_reply ?id ~status:"complete"
+            (("role", Jsonl.Str "primary")
+            :: Replication.Source.status_fields st.source),
+          "complete",
+          None )
+      end
+    | Protocol.Repl_fetch { what; offset; len; epoch; _ } ->
+      if standby st then
+        let d =
+          Diag.make Diag.Error ~code:"E031"
+            "this server is a standby; fetch from its primary"
+        in
+        (Protocol.error_reply ?id d, "error", Some "E031")
+      else (
+        match Replication.Source.fetch st.source ~what ~offset ~len ~epoch with
+        | Ok fields ->
+          (Protocol.obj_reply ?id ~status:"complete" fields, "complete", None)
+        | Error d -> (Protocol.error_reply ?id d, "error", Some d.Diag.code))
+    | Protocol.Promote _ ->
+      if promote st ~reason:"requested" then
+        ( Protocol.obj_reply ?id ~status:"complete"
+            [ ("promoted", Jsonl.Bool true);
+              ("code", Jsonl.Str "H055");
+              ("mnemonic", Jsonl.Str "promoted") ],
+          "complete",
+          Some "H055" )
+      else
+        ( Protocol.obj_reply ?id ~status:"complete"
+            [ ("promoted", Jsonl.Bool false);
+              ("role", Jsonl.Str (role_name st));
+              ("message", Jsonl.Str "already a primary") ],
+          "complete",
+          None )
     | Protocol.Query _ ->
       (* the same code path a forked worker runs, so a reply is
-         byte-identical with or without the pool *)
-      Worker.answer_query ~svc:st.svc ~defaults:(worker_defaults st.cfg) req
+         byte-identical with or without the pool; a following standby
+         tags complete answers with the W050 stale-read warning *)
+      Worker.answer_query ~svc:st.svc ~defaults:(worker_defaults st.cfg)
+        ~stale:(standby st) req
   in
   let reply, status, code =
-    match reply with
+    match compute () with
     | r -> r
     | exception e ->
       (* crash isolation: one poisoned request costs one error reply *)
@@ -509,7 +607,7 @@ let drain_pipe fd =
   in
   go ()
 
-let run cfg svc =
+let run ?follower cfg svc =
   Fdio.ignore_sigpipe ();
   let lfd = listen_socket cfg.addr in
   let pr, pw = Unix.pipe ~cloexec:true () in
@@ -532,6 +630,10 @@ let run cfg svc =
       conns = [];
       queue = Admission.create ~capacity:cfg.max_queue;
       sup = None;
+      source =
+        Replication.Source.create ~metrics:(Service.metrics svc)
+          ~store_path:(Service.store_path svc);
+      follower;
       draining = false;
       drain_deadline = 0.;
       degraded_events = 0;
@@ -629,6 +731,35 @@ let run cfg svc =
          st.conns);
     check_slow_loris st;
     process_queue st;
+    (* the standby's replication quantum: heartbeat / fetch / apply
+       when the poll interval is due.  A crash here (including an
+       injected repl.* failpoint surfacing through the fetch path)
+       costs one tick, never the serve loop. *)
+    (match st.follower with
+    | Some f when (not (Replication.Follower.promoted f)) && not st.draining
+      -> (
+      match
+        Replication.Follower.tick f
+          ~apply:(fun records -> Service.apply_replicated st.svc records)
+          ~resync:(fun snap -> Service.install_snapshot st.svc snap)
+      with
+      | `Idle | `Applied _ -> ()
+      | `Lost -> (
+        Logger.warn
+          ~fields:
+            [ ("primary",
+               Logger.Str (Replication.Follower.primary_addr f)) ]
+          "mdqa serve: primary lost; promoting standby";
+        try ignore (promote st ~reason:"primary-loss")
+        with e ->
+          Logger.error
+            ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+            "mdqa serve: promotion failed")
+      | exception e ->
+        Logger.error
+          ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+          "mdqa serve: replication tick crashed")
+    | _ -> ());
     if st.draining then begin
       if now () > st.drain_deadline then begin
         expire_queue st;
@@ -658,8 +789,15 @@ let run cfg svc =
   | None -> ());
   (try Unix.close pr with Unix.Unix_error _ -> ());
   (try Unix.close pw with Unix.Unix_error _ -> ());
+  Option.iter Replication.Follower.close st.follower;
   let checkpoint_failed =
-    match Service.checkpoint svc ~force:true with
+    if standby st then
+      (* a following standby never writes the store: its on-disk bytes
+         are the primary's, and must stay byte-identical for the next
+         sync to resume instead of re-shipping *)
+      false
+    else
+      match Service.checkpoint svc ~force:true with
     | `Written bytes ->
       Logger.info
         ~fields:[ ("bytes", Logger.Int bytes) ]

@@ -56,12 +56,22 @@ type config = {
 
 val default_config : addr -> config
 
-val run : config -> Service.t -> int
+val run : ?follower:Replication.Follower.t -> config -> Service.t -> int
 (** Serve until a drain signal, then shut down cleanly.  Returns the
     process exit code: [0] when every request was answered completely
     and the final checkpoint (if a store is attached) succeeded, [2]
     when something was degraded — queued requests expired at drain,
     the final checkpoint failed, or the server guard tripped.
+
+    With [follower] the server runs as a hot standby: between select
+    rounds it ticks the follower (heartbeat the primary, fetch and
+    apply journal frames, resync on an epoch change), answers queries
+    read-only with a W050 stale-read tag, refuses [repl.fetch] (E031)
+    and never writes the store — its on-disk bytes stay byte-identical
+    to the primary's.  A [promote] request, or [promote_after]
+    consecutive missed heartbeats, promotes it: following stops,
+    periodic checkpoints resume, and one forced checkpoint makes the
+    new primary's authority durable (H055).
 
     Never raises out of the loop; setup errors (socket in use,
     permission) raise before serving starts. *)

@@ -1,6 +1,8 @@
 open Mdqa_datalog
 module R = Mdqa_relational
 module Store = Mdqa_store.Store
+module Snapshot = Mdqa_store.Snapshot
+module Journal = Mdqa_store.Journal
 module Metrics = Mdqa_obs.Metrics
 
 type t = {
@@ -12,6 +14,9 @@ type t = {
   breaker : Breaker.t;
   metrics : Metrics.t;  (** service-lifetime registry *)
   mutable checkpoint_every : int;  (** 0 in worker children: the parent owns the disk *)
+  mutable saved_checkpoint_every : int;
+      (** what {!disable_periodic_checkpoints} hid, for a promoted
+          standby to restore *)
   mutable fixpoint_at : float;  (** Guard.Clock time of materialization *)
   mutable requests : int;
   mutable last_checkpoint_error : string option;
@@ -34,6 +39,7 @@ let mk ~program ~base ~warm ~guard ~store ~breaker ~metrics ~checkpoint_every
     breaker;
     metrics;
     checkpoint_every;
+    saved_checkpoint_every = 0;
     fixpoint_at = Guard.Clock.now ();
     requests = 0;
     last_checkpoint_error = None;
@@ -107,6 +113,88 @@ let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
       [ Diag.make Diag.Error ~code:"E024"
           "nothing to serve: no program file and no store snapshot" ]
 
+(* A standby's service: warm-start from whatever the replication layer
+   installed on disk, WITHOUT the resume machinery — [Store.resume]
+   would re-chase and compact, rewriting the very files that must stay
+   byte-identical to the primary's.  [Store.load] replays the
+   journal's valid prefix over the snapshot and writes nothing; the
+   inert store handle exists so a promotion can start checkpointing. *)
+let load_replica ?guard ?breaker ?metrics ?(checkpoint_every = 64)
+    ~store:path () =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
+  let breaker = match breaker with Some b -> b | None -> Breaker.create () in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  match Store.load ~path with
+  | Error e -> Error (diag_of_store_error path e)
+  | Ok r ->
+    let parsed = Parser.parse_string r.Store.program_text in
+    let program = parsed.Parser.program in
+    let base = Program.instance_of_facts program in
+    let warm =
+      { Chase.instance = r.Store.instance;
+        outcome = Chase.Saturated;
+        stats = r.Store.stats;
+        provenance = None }
+    in
+    let st =
+      Store.create ~guard ~metrics ~path ~program_text:r.Store.program_text
+        ~variant:r.Store.variant ()
+    in
+    let svc =
+      mk ~program ~base ~warm ~guard ~store:(Some st) ~breaker ~metrics
+        ~checkpoint_every
+    in
+    svc.persisted <- true;
+    (* exactly one process writes the store: the primary.  A promotion
+       calls [enable_periodic_checkpoints] to take ownership. *)
+    svc.saved_checkpoint_every <- svc.checkpoint_every;
+    svc.checkpoint_every <- 0;
+    Ok svc
+
+let store_path t = Option.map Store.path t.store
+
+(* Replace the warm fixpoint with a snapshot the replication layer just
+   installed (a standby following an epoch change). *)
+let install_snapshot t (snap : Snapshot.t) =
+  t.warm <-
+    { Chase.instance = snap.Snapshot.instance;
+      outcome = Chase.Saturated;
+      stats = snap.Snapshot.stats;
+      provenance = None };
+  t.fixpoint_at <- Guard.Clock.now ();
+  t.persisted <- true
+
+(* Replay freshly shipped journal records into the warm instance — the
+   in-memory mirror of what [Store.load] does on disk.  [Fact] for a
+   predicate the snapshot never declared can only mean the primary
+   declared it after the snapshot epoch; declare it here too. *)
+let apply_replicated t records =
+  let inst = t.warm.Chase.instance in
+  List.iter
+    (fun record ->
+      match record with
+      | Journal.Fact (pred, tuple) ->
+        let rel =
+          match R.Instance.find inst pred with
+          | Some rel -> rel
+          | None ->
+            R.Instance.declare inst
+              (R.Rel_schema.of_names pred
+                 (List.mapi
+                    (fun i _ -> Printf.sprintf "a%d" (i + 1))
+                    (R.Tuple.to_list tuple)))
+        in
+        ignore (R.Relation.add rel tuple)
+      | Journal.Merge { from_; into } ->
+        R.Instance.map_values inst (fun v ->
+            if R.Value.equal v from_ then into else v)
+      | Journal.Round { stats; _ } ->
+        t.warm <- { t.warm with Chase.stats })
+    records;
+  t.fixpoint_at <- Guard.Clock.now ()
+
 (* --- checkpointing through the breaker ------------------------------- *)
 
 let checkpoint t ~force =
@@ -139,7 +227,13 @@ let checkpoint t ~force =
           Some (Format.asprintf "%a" Guard.pp_exhaustion e);
         `Failed (Format.asprintf "%a" Guard.pp_exhaustion e))
 
-let disable_periodic_checkpoints t = t.checkpoint_every <- 0
+let disable_periodic_checkpoints t =
+  if t.checkpoint_every > 0 then t.saved_checkpoint_every <- t.checkpoint_every;
+  t.checkpoint_every <- 0
+
+let enable_periodic_checkpoints t =
+  if t.checkpoint_every = 0 && t.saved_checkpoint_every > 0 then
+    t.checkpoint_every <- t.saved_checkpoint_every
 
 let request_served t =
   t.requests <- t.requests + 1;

@@ -38,6 +38,39 @@ val load :
     the fixpoint every that many requests — self-healing if the on-disk
     image is lost or the disk recovers after failures. *)
 
+val load_replica :
+  ?guard:Mdqa_datalog.Guard.t ->
+  ?breaker:Breaker.t ->
+  ?metrics:Mdqa_obs.Metrics.t ->
+  ?checkpoint_every:int ->
+  store:string ->
+  unit ->
+  (t, Mdqa_datalog.Diag.t list) result
+(** Bring a {e standby's} service up from a store the replication layer
+    just installed.  Unlike {!load}, nothing is re-chased and nothing
+    is written — [Store.resume] would compact the journal and rewrite
+    the snapshot, destroying the byte-identity with the primary that
+    replication maintains.  Periodic checkpoints start disabled (the
+    primary owns the bytes); a promotion re-enables them via
+    {!enable_periodic_checkpoints}. *)
+
+val store_path : t -> string option
+(** The snapshot path of the attached store, if any — what the
+    replication source ships and the follower installs into. *)
+
+val install_snapshot : t -> Mdqa_store.Snapshot.t -> unit
+(** Replace the warm fixpoint wholesale (a standby following a
+    snapshot-epoch change). *)
+
+val apply_replicated : t -> Mdqa_store.Journal.record list -> unit
+(** Replay freshly shipped journal records into the warm instance —
+    the in-memory mirror of on-disk journal replay. *)
+
+val enable_periodic_checkpoints : t -> unit
+(** Undo {!disable_periodic_checkpoints}: restore the cadence it
+    saved.  A standby calls this at promotion, taking ownership of the
+    store file.  No-op if checkpoints were never disabled. *)
+
 type query_outcome =
   | Answers of Mdqa_relational.Tuple.t list  (** complete *)
   | Partial of Mdqa_relational.Tuple.t list * Mdqa_datalog.Guard.exhaustion

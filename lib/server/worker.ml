@@ -78,8 +78,11 @@ type defaults = { timeout : float option; max_steps : int option }
 
 (* Factored out of the server's inline branch so a reply is
    byte-identical whether it was computed in-process (workers = 0) or
-   in a forked worker. *)
-let answer_query ~svc ~defaults req =
+   in a forked worker.  [stale] is the standby read path: complete
+   answers get a W050 stale-read tag — the data is a replica of the
+   primary's, correct as of the last applied journal frame but
+   possibly behind it. *)
+let answer_query ~svc ~defaults ?(stale = false) req =
   match req with
   | Protocol.Query { id; query; engine; timeout; max_steps } -> (
     let timeout =
@@ -90,7 +93,16 @@ let answer_query ~svc ~defaults req =
     in
     match Service.query svc ?timeout ?max_steps ~engine query with
     | Service.Answers a ->
-      (Protocol.complete_reply ?id ~answers:(Some a) (), "complete", None)
+      let extra =
+        if stale then
+          [ ("stale", Jsonl.Bool true);
+            ("warning", Jsonl.Str "W050");
+            ("mnemonic", Jsonl.Str "stale-read") ]
+        else []
+      in
+      ( Protocol.complete_reply ?id ~extra ~answers:(Some a) (),
+        "complete",
+        if stale then Some "W050" else None )
     | Service.Partial (a, e) ->
       ( Protocol.degraded_reply ?id
           ~reason:(Protocol.exhaustion_reason e)

@@ -42,12 +42,14 @@ type defaults = { timeout : float option; max_steps : int option }
     budget of its own. *)
 
 val answer_query :
-  svc:Service.t -> defaults:defaults -> Protocol.request ->
+  svc:Service.t -> defaults:defaults -> ?stale:bool -> Protocol.request ->
   string * string * string option
 (** [(reply_line, status, diag_code)] for a query request — the single
     code path behind both the inline (workers = 0) branch and the
     worker child, so replies are byte-identical either way.  Non-query
-    requests (which the dispatcher never forwards) get an E024. *)
+    requests (which the dispatcher never forwards) get an E024.
+    [~stale:true] (a standby answering while it follows) tags complete
+    replies with a W050 stale-read warning. *)
 
 val answer_protected :
   svc:Service.t -> defaults:defaults -> Protocol.request ->

@@ -91,8 +91,10 @@ let rec fsync_retry fd =
   try Unix.fsync fd
   with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
 
-let write ~path s =
-  let image = encode s in
+(* A pre-encoded image lands with the same tmp/fsync/rename discipline
+   as a fresh one: replication installs shipped bytes verbatim, so a
+   standby's snapshot is byte-identical to its primary's. *)
+let write_raw ~path image =
   let tmp = path ^ ".tmp" in
   let fd =
     Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
@@ -105,6 +107,8 @@ let write ~path s =
   Unix.rename tmp path;
   fsync_dir (Filename.dirname path);
   String.length image
+
+let write ~path s = write_raw ~path (encode s)
 
 (* --- reading --------------------------------------------------------- *)
 
@@ -149,17 +153,9 @@ let decode_state r =
     { Chase.rounds; tgd_fires; triggers_checked; nulls_created; egd_merges },
     frontier )
 
-let read ~path =
+let of_string data =
   let fail offset what reason = Error { offset; what; reason } in
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error e -> fail 0 "file" e
-  | exception End_of_file -> fail 0 "file" "unreadable (concurrent truncation)"
-  | data -> (
+  (
     let len = String.length data in
     if len < String.length magic + 8 then
       fail len "header" "file shorter than the snapshot header"
@@ -223,3 +219,63 @@ let read ~path =
       | exception Binio.Corrupt { offset; reason } ->
         fail offset "snapshot" reason
     end)
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error { offset = 0; what = "file"; reason = e }
+  | exception End_of_file ->
+    Error
+      { offset = 0; what = "file"; reason = "unreadable (concurrent truncation)" }
+  | data -> of_string data
+
+(* Header walk only: the per-section CRCs without decoding any payload.
+   Replication compares these at snapshot boundaries — a standby whose
+   program section disagrees with its primary's is diverged, not stale,
+   and must refuse to follow rather than silently fork. *)
+let section_crcs data =
+  let fail offset what reason = Error { offset; what; reason } in
+  let len = String.length data in
+  if len < String.length magic + 8 then
+    fail len "header" "file shorter than the snapshot header"
+  else if String.sub data 0 (String.length magic) <> magic then
+    fail 0 "header" "bad magic: not an mdqa snapshot"
+  else begin
+    let r = Binio.reader ~offset:0 data in
+    for _ = 1 to String.length magic do ignore (Binio.read_u8 r) done;
+    match
+      let v = Binio.read_u32 r in
+      if v <> version then
+        raise
+          (Binio.Corrupt
+             { offset = 8;
+               reason =
+                 Printf.sprintf "unsupported snapshot version %d (want %d)" v
+                   version });
+      let count = Binio.read_u32 r in
+      let crcs = ref [] in
+      for _ = 1 to count do
+        let tag = Char.chr (Binio.read_u8 r) in
+        let plen = Binio.read_u32 r in
+        let crc = Binio.read_u32 r in
+        let start = Binio.pos r in
+        if start + plen > len then
+          raise
+            (Binio.Corrupt
+               { offset = start;
+                 reason =
+                   Printf.sprintf
+                     "section '%c' claims %d bytes but only %d remain" tag
+                     plen (len - start) });
+        crcs := (tag, crc) :: !crcs;
+        for _ = 1 to plen do ignore (Binio.read_u8 r) done
+      done;
+      List.rev !crcs
+    with
+    | crcs -> Ok crcs
+    | exception Binio.Corrupt { offset; reason } -> fail offset "snapshot" reason
+  end

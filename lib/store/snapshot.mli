@@ -63,4 +63,28 @@ val read : path:string -> (t, corruption) result
     versions, truncation and checksum mismatches all come back as
     [Error] with the first offending byte offset. *)
 
+(** {2 Raw images} — the replication ship path.  A snapshot travels the
+    wire as its exact on-disk bytes, so the CRCs that protect it on disk
+    protect it in flight, and an installed standby image is
+    byte-identical to its primary's. *)
+
+val encode : t -> string
+(** The full on-disk image (header + checksummed sections) as a string. *)
+
+val of_string : string -> (t, corruption) result
+(** Decode a raw image with exactly {!read}'s validation: magic,
+    version, every length and every section CRC. *)
+
+val write_raw : path:string -> string -> int
+(** Install a pre-encoded image with {!write}'s atomic tmp/fsync/rename
+    discipline.  The caller is expected to have validated it with
+    {!of_string} first.
+    @raise Sys_error / Unix.Unix_error on I/O failure. *)
+
+val section_crcs : string -> ((char * int) list, corruption) result
+(** Per-section CRC-32s of a raw image, from the section headers alone
+    (no payload decode): [('P', crc); ('I', crc); ('C', crc)] for a
+    version-1 image.  Divergence detection compares these across
+    replicas at snapshot boundaries. *)
+
 val pp_corruption : Format.formatter -> corruption -> unit

@@ -353,6 +353,125 @@ let resume ?guard ?compact_bytes ?max_steps ?max_nulls ?metrics ~path () =
       in
       Ok (result, r))
 
+(* --- replication shipping -------------------------------------------- *)
+
+(* The ship path moves a store's exact on-disk bytes: the snapshot
+   image travels whole (its section CRCs validate it at the far end),
+   the journal travels as byte slices appended verbatim — so the
+   standby's recovery semantics (torn-tail truncation, idempotent
+   replay) are literally the local crash-recovery code. *)
+
+let path st = st.path
+
+let read_file_string p =
+  match
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok data
+  | exception Sys_error e -> Error e
+  | exception End_of_file -> Error "unreadable (concurrent truncation)"
+
+let read_image ~path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no snapshot at %s" path)
+  else read_file_string path
+
+let read_journal_slice ~path ~offset ~len =
+  let jpath = journal_path path in
+  if not (Sys.file_exists jpath) then Ok ("", 0)
+  else
+    match Unix.openfile jpath [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            let total = (Unix.fstat fd).Unix.st_size in
+            let offset = min offset total in
+            let want = max 0 (min len (total - offset)) in
+            ignore (Unix.lseek fd offset Unix.SEEK_SET);
+            let buf = Bytes.create want in
+            let got = ref 0 in
+            (let continue = ref true in
+             while !continue && !got < want do
+               match Unix.read fd buf !got (want - !got) with
+               | 0 -> continue := false
+               | n -> got := !got + n
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             done);
+            (Bytes.sub_string buf 0 !got, total)
+          with
+          | r -> Ok r
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* EINTR-safe raw write used for installed journal bytes. *)
+let write_string_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let rec fsync_retry fd =
+  try Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
+
+let install_stream ~path ~snapshot ~journal =
+  match Snapshot.of_string snapshot with
+  | Error c ->
+    Error
+      (Format.asprintf "shipped snapshot rejected: %a" Snapshot.pp_corruption c)
+  | Ok _ -> (
+    match
+      ignore (Snapshot.write_raw ~path snapshot);
+      let jpath = journal_path path in
+      if journal = "" then begin
+        if Sys.file_exists jpath then Sys.remove jpath
+      end
+      else begin
+        let fd =
+          Unix.openfile (jpath ^ ".tmp")
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            write_string_all fd journal;
+            fsync_retry fd);
+        Unix.rename (jpath ^ ".tmp") jpath
+      end
+    with
+    | () -> Ok ()
+    | exception Sys_error e -> Error e
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let append_journal_bytes ~path bytes =
+  if bytes = "" then Ok ()
+  else
+    match
+      Unix.openfile (journal_path path)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            write_string_all fd bytes;
+            fsync_retry fd
+          with
+          | () -> Ok ()
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
 (* --- inspection ------------------------------------------------------ *)
 
 let verify ~path =

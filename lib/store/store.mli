@@ -133,6 +133,41 @@ val resume :
     facts modulo the labels of nulls invented after the interruption)
     and the same outcome as an uninterrupted run. *)
 
+(** {1 Replication shipping}
+
+    A store replicates by shipping its exact on-disk bytes: the
+    snapshot image travels whole (the section CRCs that protect it on
+    disk validate it at the far end), the journal travels as raw byte
+    slices appended verbatim to the standby's copy.  A standby
+    therefore recovers a shipped stream with {e literally} the local
+    crash-recovery code: torn tails truncate, replay is idempotent, and
+    any clean prefix of the stream is a loadable store. *)
+
+val path : t -> string
+(** The snapshot path this store writes. *)
+
+val read_image : path:string -> (string, string) result
+(** The raw snapshot image at [path], for shipping.  [Error] for a
+    missing or unreadable file; never raises. *)
+
+val read_journal_slice :
+  path:string -> offset:int -> len:int -> (string * int, string) result
+(** Up to [len] raw journal bytes starting at [offset], plus the
+    journal's current total length — the primary's high-water mark.  A
+    missing journal reads as [("", 0)].  Never raises. *)
+
+val install_stream :
+  path:string -> snapshot:string -> journal:string -> (unit, string) result
+(** Install a shipped stream as the local store: validate the snapshot
+    image ({!Snapshot.of_string} — full CRC check), write it atomically,
+    and replace the journal with the shipped bytes (which may be [""]:
+    no journal).  A rejected image installs nothing. *)
+
+val append_journal_bytes : path:string -> string -> (unit, string) result
+(** Append raw shipped bytes to the local journal (fsynced).  Torn or
+    partial frames are harmless: recovery truncates at the first
+    invalid frame, exactly as after a local crash. *)
+
 (** {1 Inspection} *)
 
 val verify : path:string -> Mdqa_datalog.Diag.t list * string list

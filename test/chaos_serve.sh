@@ -10,6 +10,13 @@
 # pool (H054 refusals while the control plane stays up), and failpoint
 # hit counters aggregated across workers into the parent's metrics.
 #
+# A third battery (repl-chaos) targets hot-standby replication: a
+# standby syncs to byte-identical store files, serves W050-tagged
+# stale reads, exports lag metrics, survives a repl.ship failpoint,
+# refuses divergent stores with E030 — and when the primary is
+# SIGKILLed under a failover-client burst, promotes itself with zero
+# acknowledged-reply loss.
+#
 # Usage: chaos_serve.sh MDQA_EXE
 #
 # CHAOS_WORKERS=N (default 0) additionally runs the *entire* baseline
@@ -473,5 +480,182 @@ if grep -Eq 'Fatal error|Raised at|Raised by' "$werr"; then
   fail "unhandled exception in server stderr during the worker battery" "$werr"
 fi
 
-echo "chaos_serve: survived SIGKILL, store faults, garbage, slow-loris, overload, a 500-request soak, and a worker-pool battery (crash/kill/hang/storm/metrics) with CHAOS_WORKERS=$CHAOS_WORKERS"
+# ======================================================================
+# Replication battery (repl-chaos): a hot standby syncs byte-identically,
+# serves stale-tagged reads, survives ship failpoints, refuses divergent
+# stores, and — the drill — takes over with zero acknowledged-reply loss
+# when the primary is SIGKILLed mid-burst.
+# ======================================================================
+psock="$dir/p.sock"; ssock="$dir/repl_s.sock"
+pstore="$dir/p.snap"; sstore="$dir/repl_s.snap"
+perr="$dir/primary.err"; serr="$dir/standby.err"
+trap 'kill -9 "${pid:-0}" "${ppid:-0}" "${spid:-0}" 2>/dev/null; rm -rf "$dir"' EXIT
+
+start_primary() {
+  # $1 = MDQA_FAILPOINTS spec ("" for none)
+  MDQA_FAILPOINTS="$1" "$exe" serve "$prog" --socket "$psock" \
+    --store "$pstore" --checkpoint-every 5 --drain-grace 5 2>>"$perr" &
+  ppid=$!
+  printf '{"kind":"ping"}\n' | timeout 30 "$exe" remote --retry "$psock" \
+    > /dev/null 2>&1 || fail "replication primary never became ready" "$perr"
+}
+
+start_standby() {
+  "$exe" serve --socket "$ssock" --store "$sstore" --replica-of "$psock" \
+    --repl-interval 0.2 --promote-after 4 --drain-grace 5 2>>"$serr" &
+  spid=$!
+  # readiness implies the initial sync completed: the standby only
+  # listens once its store matches the primary's
+  printf '{"kind":"ping"}\n' | timeout 30 "$exe" remote --retry "$ssock" \
+    > /dev/null 2>&1 || fail "standby never became ready" "$serr" "$perr"
+}
+
+stop_rc() {
+  kill -TERM "$1" 2>/dev/null
+  wait "$1" 2>/dev/null
+  rc=$?
+  { [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]; } \
+    || fail "replication drain must exit 0 or 2, got $rc" "$perr" "$serr"
+}
+
+# ---------------- R1: sync, byte-identity, stale reads, lag visibility
+start_primary ''
+"$exe" query --remote "$psock" -q "$q" > "$dir/repl_baseline.out" 2>/dev/null
+[ -s "$dir/repl_baseline.out" ] || fail "no primary baseline" "$perr"
+start_standby
+
+# byte-identical store files — checked BEFORE any promotion, since a
+# promoted standby rewrites its snapshot with a forced checkpoint
+cmp -s "$pstore" "$sstore" \
+  || fail "standby snapshot must be byte-identical to the primary's" "$serr"
+if [ -f "$pstore.journal" ] && [ -s "$pstore.journal" ]; then
+  cmp -s "$pstore.journal" "$sstore.journal" \
+    || fail "standby journal must be byte-identical to the primary's" "$serr"
+fi
+
+# reads on the standby answer complete, tagged as stale (W050)
+printf '{"kind":"query","query":"%s"}\n' "$q" \
+  | timeout 30 "$exe" remote "$ssock" > "$dir/repl_stale.out" 2>&1
+grep -q '"status":"complete"' "$dir/repl_stale.out" \
+  || fail "standby must answer reads" "$dir/repl_stale.out" "$serr"
+grep -q '"warning":"W050"' "$dir/repl_stale.out" \
+  || fail "standby reads must carry the W050 stale tag" "$dir/repl_stale.out"
+"$exe" query --remote "$ssock" -q "$q" > "$dir/repl_s_q.out" 2>/dev/null
+cmp -s "$dir/repl_baseline.out" "$dir/repl_s_q.out" \
+  || fail "standby answers differ from the primary's" \
+       "$dir/repl_baseline.out" "$dir/repl_s_q.out"
+
+# the standby is not a ship source (E031) and reports its role
+printf '{"kind":"repl.fetch","what":"snapshot","offset":0,"len":64,"epoch":0}\n' \
+  | timeout 30 "$exe" remote "$ssock" > "$dir/repl_fetch_s.out" 2>&1
+grep -q '"code":"E031"' "$dir/repl_fetch_s.out" \
+  || fail "a standby must refuse repl.fetch with E031" "$dir/repl_fetch_s.out"
+printf '{"kind":"health"}\n' | timeout 30 "$exe" remote "$ssock" \
+  > "$dir/repl_health_s.out" 2>&1
+grep -q '"role":"standby"' "$dir/repl_health_s.out" \
+  || fail "standby health must report role standby" "$dir/repl_health_s.out"
+
+# replication lag is exported on the standby's metrics endpoint
+timeout 30 "$exe" metrics --remote "$ssock" > "$dir/repl_metrics_s.out" 2>&1 \
+  || fail "standby metrics scrape failed" "$dir/repl_metrics_s.out" "$serr"
+grep -q '^mdqa_replication_lag_bytes ' "$dir/repl_metrics_s.out" \
+  || fail "standby must export mdqa_replication_lag_bytes" \
+       "$dir/repl_metrics_s.out"
+grep -q '^mdqa_replication_role 1$' "$dir/repl_metrics_s.out" \
+  || fail "an unpromoted standby must export role gauge 1" \
+       "$dir/repl_metrics_s.out"
+
+# -------------- R2: the drill — SIGKILL the primary under failover load
+queries 80 | timeout 120 "$exe" remote --retry "$psock,$ssock" \
+  > "$dir/repl_burst.out" 2>"$dir/repl_burst.err" &
+burst=$!
+sleep 0.4
+kill -9 "$ppid" 2>/dev/null
+wait "$ppid" 2>/dev/null
+wait "$burst" 2>/dev/null
+replies=$(grep -c '"status"' "$dir/repl_burst.out")
+[ "$replies" -eq 80 ] \
+  || fail "failover burst lost acknowledged replies (got $replies/80)" \
+       "$dir/repl_burst.out" "$dir/repl_burst.err" "$serr"
+errors=$(grep -c '"status":"error"' "$dir/repl_burst.out")
+[ "$errors" -eq 0 ] \
+  || fail "failover burst must not surface errors (got $errors)" \
+       "$dir/repl_burst.out"
+
+# the standby must detect the loss and promote itself
+i=0
+while [ "$i" -lt 100 ]; do
+  printf '{"kind":"health"}\n' | timeout 10 "$exe" remote "$ssock" \
+    > "$dir/repl_health_p.out" 2>/dev/null
+  grep -q '"promoted":true' "$dir/repl_health_p.out" && break
+  i=$((i + 1))
+  sleep 0.2
+done
+grep -q '"promoted":true' "$dir/repl_health_p.out" \
+  || fail "standby never promoted after primary loss" \
+       "$dir/repl_health_p.out" "$serr"
+
+# `mdqa promote` is idempotent on an already-promoted server
+timeout 30 "$exe" promote --remote "$ssock" > "$dir/repl_promote.out" 2>&1 \
+  || fail "mdqa promote must exit 0 on a promoted server" \
+       "$dir/repl_promote.out" "$serr"
+
+# promoted: answers untagged, role gauge 2, store verifies clean
+printf '{"kind":"query","query":"%s"}\n' "$q" \
+  | timeout 30 "$exe" remote "$ssock" > "$dir/repl_fresh.out" 2>&1
+grep -q '"status":"complete"' "$dir/repl_fresh.out" \
+  || fail "promoted standby must answer" "$dir/repl_fresh.out" "$serr"
+if grep -q '"warning":"W050"' "$dir/repl_fresh.out"; then
+  fail "a promoted standby must not tag reads stale" "$dir/repl_fresh.out"
+fi
+"$exe" query --remote "$ssock" -q "$q" > "$dir/repl_final.out" 2>/dev/null
+cmp -s "$dir/repl_baseline.out" "$dir/repl_final.out" \
+  || fail "promoted standby answers differ from the old primary's" \
+       "$dir/repl_baseline.out" "$dir/repl_final.out"
+timeout 30 "$exe" metrics --remote "$ssock" > "$dir/repl_metrics_p.out" 2>&1
+grep -q '^mdqa_replication_role 2$' "$dir/repl_metrics_p.out" \
+  || fail "a promoted standby must export role gauge 2" \
+       "$dir/repl_metrics_p.out"
+stop_rc "$spid"
+timeout 60 "$exe" store verify "$sstore" > "$dir/repl_verify.out" 2>&1
+v=$?
+[ "$v" -eq 0 ] || [ "$v" -eq 2 ] \
+  || fail "promoted standby store verify exited $v" "$dir/repl_verify.out"
+
+# ---------------- R3: ship failpoint — the sync retries through E027
+rm -f "$pstore" "$pstore.journal" "$sstore" "$sstore.journal"
+start_primary 'repl.ship=err@1'
+start_standby
+timeout 30 "$exe" metrics --remote "$psock" > "$dir/repl_fp.out" 2>&1
+grep -q 'mdqa_failpoint_hits_total{name="repl.ship"}' "$dir/repl_fp.out" \
+  || fail "repl.ship failpoint must fire and be counted" "$dir/repl_fp.out"
+"$exe" query --remote "$ssock" -q "$q" > "$dir/repl_fp_q.out" 2>/dev/null
+cmp -s "$dir/repl_baseline.out" "$dir/repl_fp_q.out" \
+  || fail "standby synced through the failpoint must answer the baseline" \
+       "$dir/repl_baseline.out" "$dir/repl_fp_q.out"
+stop_rc "$spid"
+stop_rc "$ppid"
+
+# ---------------- R4: divergence — a foreign store is refused with E030
+prog2="$dir/prog2.dl"
+printf 'f(1).\ng(X) :- f(X).\n' > "$prog2"
+"$exe" chase "$prog2" --checkpoint "$dir/div.snap" > /dev/null 2>&1 \
+  || fail "divergent checkpoint chase failed"
+start_primary ''
+timeout 30 "$exe" serve --socket "$dir/div.sock" --store "$dir/div.snap" \
+  --replica-of "$psock" > "$dir/repl_div.out" 2>&1
+drc=$?
+[ "$drc" -ne 0 ] || fail "a divergent standby must refuse to start" \
+  "$dir/repl_div.out"
+grep -q 'E030' "$dir/repl_div.out" \
+  || fail "divergence must be reported as E030" "$dir/repl_div.out"
+stop_rc "$ppid"
+
+for f in "$perr" "$serr"; do
+  if grep -Eq 'Fatal error|Raised at|Raised by' "$f"; then
+    fail "unhandled exception in replication battery stderr" "$f"
+  fi
+done
+
+echo "chaos_serve: survived SIGKILL, store faults, garbage, slow-loris, overload, a 500-request soak, a worker-pool battery (crash/kill/hang/storm/metrics), and a replication battery (sync/stale-reads/failover-promote/failpoints/divergence) with CHAOS_WORKERS=$CHAOS_WORKERS"
 exit 0
