@@ -7,6 +7,9 @@
        [--checkpoint STORE]     ... keeping a crash-safe on-disk image
      mdqa resume STORE          continue an interrupted checkpointed chase
      mdqa store verify STORE    integrity-check a checkpoint store
+     mdqa store fsck STORE      classify damage; --repair runs the
+                                salvage chain (journal prefix, previous
+                                generation, --from peer)
      mdqa query FILE [-q Q]     answer queries (chase | proof | rewrite)
      mdqa classify FILE         Datalog± class report and position graph
      mdqa check FILE [--json]   validate: every diagnostic in one pass
@@ -272,6 +275,7 @@ let json_arg =
 (* --- chase ----------------------------------------------------------- *)
 
 module Store = Mdqa_store.Store
+module Fsck = Mdqa_store.Fsck
 
 let read_file path =
   let ic = open_in_bin path in
@@ -314,8 +318,9 @@ let chase_exit (r : Chase.result) =
     exit_degraded
   | Chase.Failed _ -> exit_error
 
-let run_chase file checkpoint trace max_steps max_nulls timeout max_memory
-    max_checkpoint_bytes oblivious verbose log_level log_json =
+let run_chase file checkpoint keep_generations trace max_steps max_nulls
+    timeout max_memory max_checkpoint_bytes oblivious verbose log_level
+    log_json =
   run_protected @@ fun () ->
   setup_logging ~log_json ?log_level verbose;
   with_tracer trace @@ fun () ->
@@ -329,7 +334,8 @@ let run_chase file checkpoint trace max_steps max_nulls timeout max_memory
   let store =
     Option.map
       (fun path ->
-        Store.create ~guard ~path ~program_text:(read_file file) ~variant ())
+        Store.create ~guard ~keep_generations ~path
+          ~program_text:(read_file file) ~variant ())
       checkpoint
   in
   let r =
@@ -353,14 +359,25 @@ let checkpoint_arg =
            $(docv).journal (write-ahead deltas).  An interrupted or \
            degraded run can be continued with $(b,mdqa resume) $(docv).")
 
+let keep_generations_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "keep-generations" ] ~docv:"K"
+        ~doc:
+          "Keep the last $(docv) committed snapshot images as \
+           $(i,STORE).1 .. $(i,STORE).$(docv) (rotated on every \
+           compaction, 0 disables).  They are the salvage material for \
+           $(b,mdqa store fsck --repair) when the current snapshot is \
+           damaged.")
+
 let chase_cmd =
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase and print the saturated instance.")
     Cterm.(
-      const run_chase $ file_arg $ checkpoint_arg $ trace_arg $ max_steps_arg
-      $ max_nulls_arg $ timeout_arg $ max_memory_arg
-      $ max_checkpoint_bytes_arg $ oblivious_arg $ verbose_arg
-      $ log_level_arg $ log_json_arg)
+      const run_chase $ file_arg $ checkpoint_arg $ keep_generations_arg
+      $ trace_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
+      $ max_memory_arg $ max_checkpoint_bytes_arg $ oblivious_arg
+      $ verbose_arg $ log_level_arg $ log_json_arg)
 
 (* --- resume: continue a checkpointed chase --------------------------- *)
 
@@ -409,34 +426,92 @@ let resume_cmd =
 
 (* --- store: inspection of checkpoint stores -------------------------- *)
 
+let emit_fsck_report json report =
+  if json then print_endline (Fsck.to_json report)
+  else Fsck.print_text report;
+  Fsck.exit_code report
+
 let run_store_verify path json =
   run_protected @@ fun () ->
-  let diags, infos = Store.verify ~path in
-  if json then print_endline (Diag.to_json ~file:path diags)
-  else begin
-    List.iter print_endline infos;
-    List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags;
-    Format.printf "%a@." Diag.pp_summary diags
-  end;
-  Diag.exit_code diags
+  emit_fsck_report json (Fsck.check ~path)
 
 let store_verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
-         "Integrity-check a checkpoint store without resuming it: validate \
-          the snapshot's checksums, replay the journal, and report \
-          corruption (E023, exit 1) or a truncated journal tail (W046, \
-          exit 2) with byte-accurate locations.  Exit 0 when the store is \
-          clean.")
+         "Integrity-check a checkpoint store without touching it: validate \
+          the snapshot's checksums, replay the journal, probe the \
+          generation chain, and classify the damage.  Exit 0 when the \
+          store is clean, 2 when it is damaged but $(b,mdqa store fsck \
+          --repair) can salvage it (W046/W051), 1 when it is unrepairable \
+          (E032).")
     Cterm.(const run_store_verify $ store_arg $ json_arg)
+
+let repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "Execute the salvage chain instead of only reporting it: fold \
+           the valid journal prefix into a fresh snapshot, or rebuild \
+           from the newest clean generation, or (with $(b,--from)) \
+           re-sync from a live peer.  Damaged originals are preserved \
+           under $(i,STORE).d/quarantine/.")
+
+let from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from" ] ~docv:"ADDR"
+        ~doc:
+          "A running $(b,mdqa serve) primary (Unix socket path or \
+           host:port) to re-sync the store from when no local copy is \
+           salvageable — the last stage of the salvage chain.")
+
+let run_store_fsck path repair from json =
+  run_protected @@ fun () ->
+  if not repair then emit_fsck_report json (Fsck.check ~path)
+  else begin
+    let resync =
+      Option.map
+        (fun primary () ->
+          (* the replication ship path doubles as the repair source:
+             with the damaged files quarantined, the local epoch can't
+             match and the peer re-ships the full store *)
+          let follower =
+            Replication.Follower.create ~primary ~store_path:path
+              ~metrics:(Metrics.create ()) ()
+          in
+          let r =
+            match Replication.Follower.initial_sync follower with
+            | Ok () -> Ok ()
+            | Error d -> Error d.Diag.message
+          in
+          Replication.Follower.close follower;
+          r)
+        from
+    in
+    emit_fsck_report json (Fsck.repair ?resync ~path ())
+  end
+
+let store_fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check a checkpoint store and, with $(b,--repair), salvage it: \
+          current snapshot + longest clean journal prefix, else the \
+          newest clean previous generation + journal replay, else a \
+          re-sync from the $(b,--from) peer.  Damaged originals are \
+          quarantined (H056), never deleted; a store no stage can save \
+          exits 1 with E032 and is left untouched.")
+    Cterm.(const run_store_fsck $ store_arg $ repair_arg $ from_arg $ json_arg)
 
 let store_cmd =
   Cmd.group
     (Cmd.info "store"
-       ~doc:"Inspect checkpoint stores written by $(b,mdqa chase \
-             --checkpoint).")
-    [ store_verify_cmd ]
+       ~doc:"Inspect and repair checkpoint stores written by $(b,mdqa \
+             chase --checkpoint).")
+    [ store_verify_cmd; store_fsck_cmd ]
 
 (* --- query ----------------------------------------------------------- *)
 
@@ -1085,11 +1160,26 @@ let promote_after_arg =
           "Consecutive missed heartbeats after which the standby declares \
            the primary lost and promotes itself (0 never auto-promotes).")
 
+let scrub_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "scrub-interval" ] ~docv:"SEC"
+        ~doc:
+          "Continuously re-verify the store's on-disk checksums from the \
+           event loop, one bounded step every $(docv) seconds.  A \
+           finding trips the checkpoint breaker and triggers a one-shot \
+           $(b,store fsck --repair); a standby re-syncs from its \
+           primary instead.  Progress is exported as \
+           $(b,mdqa_store_scrub_bytes_total) / \
+           $(b,mdqa_store_scrub_errors_total).")
+
 let run_serve file socket port host store max_queue read_timeout
     request_timeout request_max_steps max_request_bytes checkpoint_every
-    drain_grace workers watchdog min_ready worker_max_requests
-    worker_max_heap_mb replica_of repl_interval promote_after max_steps
-    max_nulls max_checkpoint_bytes verbose log_level log_json =
+    keep_generations drain_grace workers watchdog min_ready
+    worker_max_requests worker_max_heap_mb scrub_interval replica_of
+    repl_interval promote_after max_steps max_nulls max_checkpoint_bytes
+    verbose log_level log_json =
   run_protected @@ fun () ->
   setup_logging ~log_json ?log_level verbose;
   (* Deterministic fault injection for the chaos harness: scripted
@@ -1124,7 +1214,9 @@ let run_serve file socket port host store max_queue read_timeout
       watchdog;
       min_ready;
       worker_max_requests;
-      worker_max_heap_mb }
+      worker_max_heap_mb;
+      scrub_interval;
+      scrub_budget = 65536 }
     |> fun c ->
     Failpoint.attach_metrics (Service.metrics svc);
     c
@@ -1161,7 +1253,7 @@ let run_serve file socket port host store max_queue read_timeout
     | Ok () -> ());
     match
       Service.load_replica ~guard ~metrics ~checkpoint_every
-        ~store:store_path ()
+        ~keep_generations ~store:store_path ()
     with
     | Error diags ->
       report_error_diags diags;
@@ -1169,7 +1261,8 @@ let run_serve file socket port host store max_queue read_timeout
     | Ok svc -> Server.run ~follower (cfg svc) svc)
   | None -> (
     match
-      Service.load ~guard ?store ~checkpoint_every ?program_file:file ()
+      Service.load ~guard ?store ~checkpoint_every ~keep_generations
+        ?program_file:file ()
     with
     | Error diags ->
       report_error_diags diags;
@@ -1194,11 +1287,11 @@ let serve_cmd =
       const run_serve $ serve_file_arg $ socket_arg $ port_arg $ host_arg
       $ serve_store_arg $ max_queue_arg $ serve_read_timeout_arg
       $ request_timeout_arg $ request_max_steps_arg $ max_request_bytes_arg
-      $ checkpoint_every_arg $ drain_grace_arg $ workers_arg $ watchdog_arg
-      $ min_ready_arg $ worker_max_requests_arg $ worker_max_heap_arg
-      $ replica_of_arg $ repl_interval_arg $ promote_after_arg
-      $ max_steps_arg $ max_nulls_arg $ max_checkpoint_bytes_arg $ verbose_arg
-      $ log_level_arg $ log_json_arg)
+      $ checkpoint_every_arg $ keep_generations_arg $ drain_grace_arg
+      $ workers_arg $ watchdog_arg $ min_ready_arg $ worker_max_requests_arg
+      $ worker_max_heap_arg $ scrub_interval_arg $ replica_of_arg
+      $ repl_interval_arg $ promote_after_arg $ max_steps_arg $ max_nulls_arg
+      $ max_checkpoint_bytes_arg $ verbose_arg $ log_level_arg $ log_json_arg)
 
 (* --- remote: raw line client (the chaos harness's scalpel) ----------- *)
 

@@ -35,6 +35,7 @@ let registry =
     ("E029", "worker-crashed");
     ("E030", "replication-divergence");
     ("E031", "replication-refused");
+    ("E032", "unrepairable-store");
     ("W040", "undefined-predicate");
     ("W041", "not-weakly-sticky");
     ("W042", "quality-version-undefined");
@@ -46,12 +47,15 @@ let registry =
     ("W048", "breaker-open");
     ("W049", "watchdog-kill");
     ("W050", "stale-read");
+    ("W051", "salvaged-from-generation");
+    ("W052", "journal-records-dropped");
     ("H050", "qa-path");
     ("H051", "unused-map-target");
     ("H052", "stale-checkpoint-temp");
     ("H053", "server-drain");
     ("H054", "workers-unavailable");
-    ("H055", "promoted") ]
+    ("H055", "promoted");
+    ("H056", "quarantined-file") ]
 
 let describe code = List.assoc_opt code registry
 let codes = registry

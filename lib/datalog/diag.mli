@@ -29,14 +29,17 @@
       and worker pool);
     - [E030] replication-divergence, [E031] replication-refused (the
       primary/standby replication layer);
+    - [E032] unrepairable-store (the {!Mdqa_store.Fsck} salvage chain
+      exhausted every stage);
     - [W040] undefined-predicate, [W041] not-weakly-sticky, [W042]
       quality-version-undefined, [W043] non-strict-hierarchy, [W044]
       non-homogeneous-hierarchy, [W045] referential-violation, [W046]
       store-truncated, [W047] overload-shed, [W048] breaker-open,
-      [W049] watchdog-kill, [W050] stale-read;
+      [W049] watchdog-kill, [W050] stale-read, [W051]
+      salvaged-from-generation, [W052] journal-records-dropped;
     - [H050] qa-path, [H051] unused-map-target, [H052]
       stale-checkpoint-temp, [H053] server-drain, [H054]
-      workers-unavailable, [H055] promoted. *)
+      workers-unavailable, [H055] promoted, [H056] quarantined-file. *)
 
 type severity = Error | Warning | Hint
 

@@ -73,6 +73,14 @@ let record_failure t =
     open_for t t.current_cooldown
   | Open _ -> ()
 
+(* Out-of-band trip: evidence from outside the protected call path
+   (the scrubber finding a bad CRC on disk) opens the breaker at once,
+   without waiting for [threshold] checkpoint failures. *)
+let trip t =
+  match t.state with
+  | Open _ -> ()
+  | Closed | Half_open -> open_for t t.current_cooldown
+
 let state t = t.state
 let consecutive_failures t = t.failures
 let trips t = t.trips

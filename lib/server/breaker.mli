@@ -47,6 +47,12 @@ val record_failure : t -> unit
     [threshold]; reaching it trips the breaker.  In [Half_open], the
     probe failed: re-open with a doubled (capped) cooldown. *)
 
+val trip : t -> unit
+(** Open the breaker immediately on out-of-band evidence (the store
+    scrubber finding corruption on disk), without waiting for
+    [threshold] call failures.  Uses the current (possibly backed-off)
+    cooldown; a no-op if already open. *)
+
 val state : t -> state
 val consecutive_failures : t -> int
 

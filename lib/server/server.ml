@@ -4,6 +4,9 @@ module Metrics = Mdqa_obs.Metrics
 module Trace = Mdqa_obs.Trace
 module Logger = Mdqa_obs.Logger
 module Failpoint = Mdqa_obs.Failpoint
+module Store = Mdqa_store.Store
+module Scrub = Mdqa_store.Scrub
+module Fsck = Mdqa_store.Fsck
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -22,6 +25,9 @@ type config = {
   min_ready : int;  (** below this many live workers, shed with H054 *)
   worker_max_requests : int;  (** recycle a worker after this many; 0 = off *)
   worker_max_heap_mb : float;  (** recycle past this heap size; 0 = off *)
+  scrub_interval : float option;
+      (** seconds between online store-scrub steps; [None] = off *)
+  scrub_budget : int;  (** bytes the scrubber verifies per step *)
 }
 
 let default_config addr =
@@ -38,7 +44,9 @@ let default_config addr =
     watchdog = None;
     min_ready = 1;
     worker_max_requests = 10_000;
-    worker_max_heap_mb = 0. }
+    worker_max_heap_mb = 0.;
+    scrub_interval = None;
+    scrub_budget = 65536 }
 
 type conn = {
   fd : Unix.file_descr;
@@ -67,6 +75,16 @@ type state = {
       (** requests degraded for server reasons (drain, dead pool), not
           budget *)
   mutable crashed : int;
+  mutable scrub : Scrub.t option;
+      (** the online store scrubber (present iff [scrub_interval] is
+          set and the service has a store) *)
+  mutable scrub_due : float;
+  mutable scrub_repair_pending : bool;
+      (** a scrub finding requested a one-shot repair; it runs on the
+          next scrub tick, so the tripped-breaker state is observable
+          for at least one scrape *)
+  mutable scrub_bytes_seen : int;  (** folded into the counter so far *)
+  mutable scrub_errors_seen : int;
 }
 
 (* A promoted standby IS a primary — on the wire it says so, so a
@@ -224,6 +242,11 @@ let exposition st =
   set "mdqa_replication_role"
     "replication role (0=primary, 1=standby, 2=promoted standby)"
     (role_gauge_value st);
+  (match Service.store_path st.svc with
+  | Some p ->
+    set "mdqa_store_generation" "previous snapshot generations on disk"
+      (float_of_int (Store.generations ~path:p))
+  | None -> ());
   (match st.sup with
   | Some s -> Supervisor.record_metrics s m
   | None -> ());
@@ -594,6 +617,93 @@ let expire_queue st =
   in
   go ()
 
+(* --- online scrub ------------------------------------------------------ *)
+
+(* A scrub finding means the bytes under the server are not the bytes
+   it wrote: trip the checkpoint breaker at once (evidence beats
+   waiting for three checkpoint failures) and schedule one repair
+   attempt for the next scrub tick — deferred a tick so the open
+   breaker is scrapeable before repair heals it.  The service keeps
+   answering from its in-memory fixpoint throughout. *)
+let scrub_found st findings =
+  List.iter
+    (fun f ->
+      Logger.warn
+        ~fields:
+          [ ("file", Logger.Str f.Scrub.file);
+            ("offset", Logger.Int f.Scrub.offset);
+            ("reason", Logger.Str f.Scrub.reason) ]
+        "mdqa serve: scrub found store damage")
+    findings;
+  Breaker.trip (Service.breaker st.svc);
+  st.scrub_repair_pending <- true
+
+(* The one-shot repair: the fsck salvage chain, with a standby's
+   stage 3 wired to a full re-sync from its primary (a standby's store
+   must stay byte-identical to the primary's, so local salvage output
+   would be divergence — re-shipping is the only honest repair). *)
+let scrub_repair st =
+  match Service.store_path st.svc with
+  | None -> ()
+  | Some path ->
+    let resync =
+      match st.follower with
+      | Some f when not (Replication.Follower.promoted f) ->
+        Some
+          (fun () ->
+            match Replication.Follower.initial_sync f with
+            | Ok () -> Ok ()
+            | Error d -> Error d.Diag.message)
+      | _ -> None
+    in
+    Metrics.inc
+      (Metrics.counter (Service.metrics st.svc)
+         ~help:"scrub-triggered repair attempts"
+         "mdqa_store_scrub_repairs_total");
+    let rep = Fsck.repair ?resync ~path () in
+    if rep.Fsck.repaired then
+      Logger.info
+        ~fields:
+          [ ("path", Logger.Str path);
+            ("quarantined",
+             Logger.Str (String.concat "," rep.Fsck.quarantined)) ]
+        "mdqa serve: scrub repair succeeded"
+    else if rep.Fsck.status <> Fsck.Clean then
+      Logger.error
+        ~fields:
+          [ ("path", Logger.Str path);
+            ("status", Logger.Str (Fsck.status_name rep.Fsck.status)) ]
+        "mdqa serve: scrub repair failed (E032); serving from memory only"
+
+let scrub_tick st sc =
+  let m = Service.metrics st.svc in
+  if st.scrub_repair_pending then begin
+    st.scrub_repair_pending <- false;
+    (try scrub_repair st
+     with e ->
+       Logger.error
+         ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+         "mdqa serve: scrub repair crashed");
+    (* restart the walk: the files under the scrubber just changed *)
+    Scrub.close sc
+  end
+  else begin
+    let findings = Scrub.tick sc in
+    Metrics.add
+      (Metrics.counter m ~help:"store bytes re-verified by the online scrubber"
+         "mdqa_store_scrub_bytes_total")
+      (max 0 (Scrub.bytes_scrubbed sc - st.scrub_bytes_seen));
+    st.scrub_bytes_seen <- Scrub.bytes_scrubbed sc;
+    Metrics.add
+      (Metrics.counter m
+         ~help:"store damage found by the online scrubber (injected faults \
+                included)"
+         "mdqa_store_scrub_errors_total")
+      (max 0 (Scrub.errors_found sc - st.scrub_errors_seen));
+    st.scrub_errors_seen <- Scrub.errors_found sc;
+    if findings <> [] then scrub_found st findings
+  end
+
 (* --- the loop --------------------------------------------------------- *)
 
 let drain_pipe fd =
@@ -637,8 +747,17 @@ let run ?follower cfg svc =
       draining = false;
       drain_deadline = 0.;
       degraded_events = 0;
-      crashed = 0 }
+      crashed = 0;
+      scrub = None;
+      scrub_due = 0.;
+      scrub_repair_pending = false;
+      scrub_bytes_seen = 0;
+      scrub_errors_seen = 0 }
   in
+  (match (cfg.scrub_interval, Service.store_path svc) with
+  | Some _, Some path ->
+    st.scrub <- Some (Scrub.create ~budget:cfg.scrub_budget ~path ())
+  | _ -> ());
   (* Fork the pool only now: the children share the warmed-up fixpoint
      copy-on-write, and [on_child] (run in each fresh child, at every
      respawn) closes whatever parent fds exist at that moment. *)
@@ -710,6 +829,13 @@ let run ?follower cfg svc =
         | None -> 0.25
         | Some at -> Float.min 0.25 (Float.max 0. (at -. now ())))
     in
+    let tmo =
+      (* don't let an idle select oversleep the next scrub step *)
+      match st.scrub with
+      | Some _ when not st.draining ->
+        Float.min tmo (Float.max 0. (st.scrub_due -. now ()))
+      | _ -> tmo
+    in
     (match Fdio.select_read read_fds ~timeout:tmo with
      | Error Unix.EBADF ->
        (* a conn closed underneath us; the alive filter above cleans
@@ -760,6 +886,19 @@ let run ?follower cfg svc =
           ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
           "mdqa serve: replication tick crashed")
     | _ -> ());
+    (* the scrub quantum: bounded byte verification between requests.
+       A crash here (including an injected store.fsck fault in the
+       repair path) costs one tick, never the serve loop. *)
+    (match (st.scrub, cfg.scrub_interval) with
+    | Some sc, Some interval when (not st.draining) && now () >= st.scrub_due
+      -> (
+      st.scrub_due <- now () +. interval;
+      try scrub_tick st sc
+      with e ->
+        Logger.error
+          ~fields:[ ("error", Logger.Str (Printexc.to_string e)) ]
+          "mdqa serve: scrub tick crashed")
+    | _ -> ());
     if st.draining then begin
       if now () > st.drain_deadline then begin
         expire_queue st;
@@ -789,6 +928,7 @@ let run ?follower cfg svc =
   | None -> ());
   (try Unix.close pr with Unix.Unix_error _ -> ());
   (try Unix.close pw with Unix.Unix_error _ -> ());
+  Option.iter Scrub.close st.scrub;
   Option.iter Replication.Follower.close st.follower;
   let checkpoint_failed =
     if standby st then

@@ -52,6 +52,18 @@ type config = {
   min_ready : int;  (** live workers required to accept queries (1) *)
   worker_max_requests : int;  (** recycle after this many requests; 0 = off *)
   worker_max_heap_mb : float;  (** recycle past this heap size; 0. = off *)
+  scrub_interval : float option;
+      (** with [Some s], re-verify the store's on-disk CRCs from the
+          event loop, one bounded step every [s] seconds
+          ({!Mdqa_store.Scrub}).  A finding trips the checkpoint
+          breaker immediately and schedules a one-shot
+          {!Mdqa_store.Fsck.repair} for the next step; a standby
+          repairs by re-syncing from its primary.  Progress and
+          findings are exported as [mdqa_store_scrub_bytes_total] /
+          [mdqa_store_scrub_errors_total], and the
+          [mdqa_store_generation] gauge tracks the generation chain.
+          [None] (default) = off *)
+  scrub_budget : int;  (** bytes verified per scrub step (64 KiB) *)
 }
 
 val default_config : addr -> config

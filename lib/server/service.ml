@@ -50,7 +50,7 @@ let diag_of_store_error path e =
       (Format.asprintf "%a" Store.pp_load_error e) ]
 
 let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
-    ?program_file () =
+    ?keep_generations ?program_file () =
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let breaker = match breaker with Some b -> b | None -> Breaker.create () in
   let metrics =
@@ -66,7 +66,7 @@ let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
       let program = parsed.Parser.program in
       let base = Program.instance_of_facts program in
       let st =
-        Store.create ~guard ~metrics ~path
+        Store.create ~guard ~metrics ?keep_generations ~path
           ~program_text:recovery.Store.program_text
           ~variant:recovery.Store.variant ()
       in
@@ -84,8 +84,8 @@ let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
       let st =
         Option.map
           (fun path ->
-            Store.create ~guard ~metrics ~path ~program_text:(read_file file)
-              ~variant:Chase.Restricted ())
+            Store.create ~guard ~metrics ?keep_generations ~path
+              ~program_text:(read_file file) ~variant:Chase.Restricted ())
           store
       in
       let warm =
@@ -120,7 +120,7 @@ let load ?guard ?breaker ?store ?metrics ?(checkpoint_every = 64)
    journal's valid prefix over the snapshot and writes nothing; the
    inert store handle exists so a promotion can start checkpointing. *)
 let load_replica ?guard ?breaker ?metrics ?(checkpoint_every = 64)
-    ~store:path () =
+    ?keep_generations ~store:path () =
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let breaker = match breaker with Some b -> b | None -> Breaker.create () in
   let metrics =
@@ -139,8 +139,8 @@ let load_replica ?guard ?breaker ?metrics ?(checkpoint_every = 64)
         provenance = None }
     in
     let st =
-      Store.create ~guard ~metrics ~path ~program_text:r.Store.program_text
-        ~variant:r.Store.variant ()
+      Store.create ~guard ~metrics ?keep_generations ~path
+        ~program_text:r.Store.program_text ~variant:r.Store.variant ()
     in
     let svc =
       mk ~program ~base ~warm ~guard ~store:(Some st) ~breaker ~metrics

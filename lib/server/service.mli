@@ -26,6 +26,7 @@ val load :
   ?store:string ->
   ?metrics:Mdqa_obs.Metrics.t ->
   ?checkpoint_every:int ->
+  ?keep_generations:int ->
   ?program_file:string ->
   unit ->
   (t, Mdqa_datalog.Diag.t list) result
@@ -43,6 +44,7 @@ val load_replica :
   ?breaker:Breaker.t ->
   ?metrics:Mdqa_obs.Metrics.t ->
   ?checkpoint_every:int ->
+  ?keep_generations:int ->
   store:string ->
   unit ->
   (t, Mdqa_datalog.Diag.t list) result

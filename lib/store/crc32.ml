@@ -28,3 +28,26 @@ let digest ?pos ?len s = run String.unsafe_get ?pos ?len s (String.length s)
 
 let digest_bytes ?pos ?len b =
   run Bytes.unsafe_get ?pos ?len b (Bytes.length b)
+
+(* Streaming form, for walkers that cannot hold the whole file (the
+   online scrubber checks a snapshot a few KiB per select-loop tick).
+   The running value carries the un-finalized register; feed in chunks,
+   finish applies the final xor.  [finish (feed (feed start a) b) =
+   digest (a ^ b)]. *)
+
+type running = int
+
+let start = mask
+
+let feed c b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.feed: out of bounds";
+  let t = Lazy.force table in
+  let c = ref c in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c
+
+let finish c = c lxor mask

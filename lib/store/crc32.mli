@@ -11,3 +11,17 @@ val digest : ?pos:int -> ?len:int -> string -> int
     string).  Result is in [\[0, 0xFFFF_FFFF\]]. *)
 
 val digest_bytes : ?pos:int -> ?len:int -> bytes -> int
+
+(** {1 Streaming} — for incremental walkers ({!Scrub}) that checksum a
+    file a bounded number of bytes per tick instead of in one pass.
+    [finish (feed start b)] equals [digest_bytes b]. *)
+
+type running
+(** An in-progress CRC register (not yet final-xored). *)
+
+val start : running
+
+val feed : running -> bytes -> pos:int -> len:int -> running
+
+val finish : running -> int
+(** The finalized checksum, comparable with {!digest}'s result. *)

@@ -132,11 +132,18 @@ let read ~path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error e ->
-    { records = []; truncation = Some { offset = 0; reason = e };
+    { records = [];
+      truncation =
+        Some { offset = 0; reason = "unreadable journal: " ^ e };
       valid_bytes = 0 }
   | exception End_of_file ->
     { records = [];
-      truncation = Some { offset = 0; reason = "unreadable journal" };
+      truncation =
+        Some
+          { offset = 0;
+            reason =
+              "unreadable journal: file shrank mid-read (concurrent \
+               truncation)" };
       valid_bytes = 0 }
   | data ->
     let len = String.length data in

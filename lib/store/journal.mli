@@ -79,3 +79,14 @@ val read : path:string -> read_result
     yields the valid prefix and a report, never an exception. *)
 
 val pp_truncation : Format.formatter -> truncation -> unit
+
+(** {1 Format constants} — for the sibling integrity walkers ({!Fsck},
+    {!Scrub}) that stream over raw journal bytes. *)
+
+val magic : string
+(** ["MDQAJRNL"], 8 bytes. *)
+
+val version : int
+
+val header_len : int
+(** Bytes before the first record frame: magic + u32 version. *)

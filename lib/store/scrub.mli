@@ -1,0 +1,52 @@
+(** Incremental online verification of a store's on-disk CRCs.
+
+    A scrubber re-reads the snapshot and journal continuously, a
+    bounded number of bytes per {!tick}, so the single-threaded server
+    loop can fold integrity checking between requests: bit rot is
+    found while the previous generation is still fresh, not at the
+    next crash recovery.
+
+    The walk is safe against live mutation: the snapshot is verified
+    through a retained fd (a checkpoint's [rename] leaves the fd on the
+    old complete image), a journal frame past EOF is the normal torn
+    tail of an in-flight append (never damage), and a journal CRC
+    mismatch is reported only after re-checking that compaction did not
+    truncate or replace the file mid-walk.  Each fault is reported once
+    per (inode, offset), so a counter of findings counts faults, not
+    scrub passes over them.
+
+    The [store.scrub] failpoint fires on every tick; arming it with
+    [err] makes the injection surface as a synthetic finding — the
+    trip-and-repair path can be exercised without real corruption. *)
+
+type finding = {
+  file : string;
+  offset : int;
+  reason : string;
+}
+
+type t
+
+val create : ?budget:int -> path:string -> unit -> t
+(** A scrubber for the store at [path] (and its journal).  [budget]
+    (default 64 KiB, floor 512) bounds the bytes verified per tick. *)
+
+val tick : t -> finding list
+(** Advance one bounded step; returns the new damage found this tick
+    (usually []).  Never raises. *)
+
+val cycles : t -> int
+(** Completed full passes over snapshot + journal. *)
+
+val bytes_scrubbed : t -> int
+(** Total bytes read and verified since {!create}. *)
+
+val errors_found : t -> int
+(** Total findings reported since {!create} (injected faults
+    included). *)
+
+val close : t -> unit
+(** Release the scrubber's fds.  The next {!tick} reopens and starts a
+    fresh cycle. *)
+
+val pp_finding : Format.formatter -> finding -> unit

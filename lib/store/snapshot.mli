@@ -88,3 +88,16 @@ val section_crcs : string -> ((char * int) list, corruption) result
     replicas at snapshot boundaries. *)
 
 val pp_corruption : Format.formatter -> corruption -> unit
+
+(** {2 Format constants and helpers} — for the sibling integrity
+    walkers ({!Fsck}, {!Scrub}) that re-implement the header walk over
+    raw bytes or an open fd. *)
+
+val magic : string
+(** ["MDQASNAP"], 8 bytes. *)
+
+val version : int
+
+val fsync_dir : string -> unit
+(** Make a just-performed rename/unlink in [dir] durable.  Failures are
+    ignored (not every filesystem supports directory fsync). *)

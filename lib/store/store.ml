@@ -10,7 +10,36 @@ module Metrics = Mdqa_obs.Metrics
 module Trace = Mdqa_obs.Trace
 
 let journal_path path = path ^ ".journal"
-let temp_path path = path ^ ".tmp"
+let generation_path path k = path ^ "." ^ string_of_int k
+
+let generations ~path =
+  let rec go k =
+    if Sys.file_exists (generation_path path (k + 1)) then go (k + 1) else k
+  in
+  go 0
+
+(* Keep the last [keep] committed images as path.1 (newest generation)
+   .. path.[keep] (oldest).  The current image is hard-linked to path.1
+   BEFORE the new one renames over path, so there is never an instant
+   with zero complete snapshots on disk; a crash mid-rotation at worst
+   leaves a duplicate generation, never a gap at path.  Best-effort:
+   generations are redundancy, and a disk too sick to rename will make
+   the snapshot write itself fail loudly a moment later. *)
+let rotate_generations ~path ~keep =
+  if keep > 0 && Sys.file_exists path then (
+    try
+      for k = keep - 1 downto 1 do
+        let src = generation_path path k in
+        if Sys.file_exists src then
+          Unix.rename src (generation_path path (k + 1))
+      done;
+      let gen1 = generation_path path 1 in
+      let tmp = gen1 ^ ".tmp" in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Unix.link path tmp;
+      Unix.rename tmp gen1;
+      Snapshot.fsync_dir (Filename.dirname path)
+    with Unix.Unix_error _ | Sys_error _ -> ())
 
 let zero_stats =
   { Chase.rounds = 0; tgd_fires = 0; triggers_checked = 0; nulls_created = 0;
@@ -51,6 +80,7 @@ type t = {
   path : string;
   guard : Guard.t option;
   compact_bytes : int;
+  keep_generations : int;
   program_text : string;
   variant : Chase.variant;
   ins : instruments;
@@ -62,10 +92,11 @@ type t = {
   mutable write_error : exn option;
 }
 
-let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ?metrics ~path
-    ~program_text ~variant () =
+let create ?guard ?(compact_bytes = 4 * 1024 * 1024) ?(keep_generations = 2)
+    ?metrics ~path ~program_text ~variant () =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
-  { path; guard; compact_bytes; program_text; variant; ins = instruments m;
+  { path; guard; compact_bytes; keep_generations = max 0 keep_generations;
+    program_text; variant; ins = instruments m;
     writer = None; journal_bytes = 0; max_null = -1; start_frontier = None;
     start_stats = zero_stats; write_error = None }
 
@@ -98,6 +129,7 @@ let note_instance st inst = Instance.iter_facts (fun _ t -> note_tuple st t) ins
 let write_snapshot st ~instance ~frontier ~stats =
   Trace.with_span "store.checkpoint" ~attrs:[ ("path", st.path) ] @@ fun () ->
   let t0 = Guard.Clock.now () in
+  rotate_generations ~path:st.path ~keep:st.keep_generations;
   match
     Snapshot.write ~path:st.path
       { Snapshot.program_text = st.program_text; variant = st.variant;
@@ -236,14 +268,15 @@ let group_frontier = function
     Some
       (List.rev_map (fun p -> (p, List.rev !(Hashtbl.find tbl p))) !order)
 
-let load ~path =
-  if not (Sys.file_exists path) then Error (No_store path)
+(* [load] generalized over the file layout: fsck replays the journal
+   over a PREVIOUS generation image when the current snapshot is rot. *)
+let load_from ~snapshot:spath ~journal:jpath =
+  if not (Sys.file_exists spath) then Error (No_store spath)
   else
-    match Snapshot.read ~path with
+    match Snapshot.read ~path:spath with
     | Error c -> Error (Corrupt_snapshot c)
     | Ok snap ->
       let inst = snap.Snapshot.instance in
-      let jpath = journal_path path in
       let jr =
         if Sys.file_exists jpath then Journal.read ~path:jpath
         else { Journal.records = []; truncation = None; valid_bytes = 0 }
@@ -329,6 +362,8 @@ let load ~path =
           stats = !stats;
           replayed = !replayed;
           journal_truncation = !truncation }
+
+let load ~path = load_from ~snapshot:path ~journal:(journal_path path)
 
 let resume ?guard ?compact_bytes ?max_steps ?max_nulls ?metrics ~path () =
   match load ~path with
@@ -431,8 +466,15 @@ let install_stream ~path ~snapshot ~journal =
     match
       ignore (Snapshot.write_raw ~path snapshot);
       let jpath = journal_path path in
+      (* The journal swap gets the same directory-fsync discipline as
+         the snapshot rename: without it, a crash can resurrect the
+         removed (stale) journal beside the freshly installed snapshot
+         and replay deltas from a different epoch over it. *)
       if journal = "" then begin
-        if Sys.file_exists jpath then Sys.remove jpath
+        if Sys.file_exists jpath then begin
+          Sys.remove jpath;
+          Snapshot.fsync_dir (Filename.dirname jpath)
+        end
       end
       else begin
         let fd =
@@ -445,7 +487,8 @@ let install_stream ~path ~snapshot ~journal =
           (fun () ->
             write_string_all fd journal;
             fsync_retry fd);
-        Unix.rename (jpath ^ ".tmp") jpath
+        Unix.rename (jpath ^ ".tmp") jpath;
+        Snapshot.fsync_dir (Filename.dirname jpath)
       end
     with
     | () -> Ok ()
@@ -472,50 +515,6 @@ let append_journal_bytes ~path bytes =
           | () -> Ok ()
           | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
 
-(* --- inspection ------------------------------------------------------ *)
-
-let verify ~path =
-  let diags = ref [] in
-  let infos = ref [] in
-  let add d = diags := d :: !diags in
-  let info fmt = Printf.ksprintf (fun s -> infos := s :: !infos) fmt in
-  (match load ~path with
-   | Error (No_store p) ->
-     add
-       (Diag.make ~file:path Diag.Error ~code:"E023"
-          (Printf.sprintf "no snapshot at %s" p))
-   | Error (Corrupt_snapshot c) ->
-     add
-       (Diag.make ~file:path Diag.Error ~code:"E023"
-          (Format.asprintf "snapshot corrupt: %a" Snapshot.pp_corruption c))
-   | Error (Bad_program { line; message }) ->
-     add
-       (Diag.make ~file:path ~line Diag.Error ~code:"E023"
-          (Printf.sprintf "stored program does not parse: %s" message))
-   | Ok r ->
-     info "snapshot: %d relations, %d tuples, null base %d"
-       (List.length (Instance.relations r.instance))
-       (Instance.total_tuples r.instance)
-       r.null_base;
-     info "chase state: %d rounds, %d TGD fires, %d EGD merges%s"
-       r.stats.Chase.rounds r.stats.Chase.tgd_fires r.stats.Chase.egd_merges
-       (match r.frontier with
-        | Some f -> Printf.sprintf "; frontier of %d facts" (List.length f)
-        | None -> "; no frontier (full first round on resume)");
-     if Sys.file_exists (journal_path path) then
-       info "journal: %d records replayed" r.replayed
-     else info "journal: absent";
-     (match r.journal_truncation with
-      | None -> ()
-      | Some t ->
-        add
-          (Diag.make ~file:(journal_path path) Diag.Warning ~code:"W046"
-             (Format.asprintf
-                "journal truncated at %a; %d records recovered"
-                Journal.pp_truncation t r.replayed))));
-  if Sys.file_exists (temp_path path) then
-    add
-      (Diag.make ~file:(temp_path path) Diag.Hint ~code:"H052"
-         "stale temporary snapshot from an interrupted write; it is \
-          ignored and will be overwritten");
-  (List.rev !diags, List.rev !infos)
+(* Inspection lives in {!Fsck}: [check] is the integrity report behind
+   [mdqa store verify], [repair] the salvage chain behind
+   [mdqa store fsck --repair]. *)

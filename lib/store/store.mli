@@ -32,9 +32,26 @@ type t
 val journal_path : string -> string
 (** [journal_path path] is [path ^ ".journal"]. *)
 
+val generation_path : string -> int -> string
+(** [generation_path path k] is [path ^ "." ^ k]: the k-th previous
+    committed snapshot image, 1 = newest. *)
+
+val generations : path:string -> int
+(** How many previous generations are on disk (consecutive from 1). *)
+
+val rotate_generations : path:string -> keep:int -> unit
+(** Rotate the committed image at [path] into the generation chain
+    before a new one replaces it: [path.k-1] renames to [path.k] for
+    k = keep..2, then [path] is hard-linked to [path.1] — so there is
+    never an instant with zero complete snapshots on disk.  Best-effort
+    (generations are redundancy): I/O failures are swallowed, and
+    [keep = 0] disables rotation.  Called automatically by every
+    snapshot write of an open store. *)
+
 val create :
   ?guard:Mdqa_datalog.Guard.t ->
   ?compact_bytes:int ->
+  ?keep_generations:int ->
   ?metrics:Mdqa_obs.Metrics.t ->
   path:string ->
   program_text:string ->
@@ -45,7 +62,11 @@ val create :
     calls the [on_start] hook (so a run that fails validation leaves no
     files).  When the journal grows past [compact_bytes] (default
     4 MiB) it is folded into a fresh snapshot at the next round
-    boundary.
+    boundary.  Every snapshot write first rotates the previous
+    committed image into the generation chain ([path.1] ..
+    [path.keep_generations], default 2; 0 disables) so a later
+    corruption of the current image is never the loss of the only
+    copy — {!Fsck.repair} salvages from the newest clean generation.
 
     When [metrics] is given, checkpoint count/bytes/duration/failures
     and journal frame/byte counters ([mdqa_store_*]) are recorded
@@ -117,6 +138,14 @@ val load : path:string -> (recovery, load_error) result
     as [Error] (snapshot) or as [journal_truncation] (journal — the
     valid prefix is still returned). *)
 
+val load_from :
+  snapshot:string -> journal:string -> (recovery, load_error) result
+(** {!load} over an explicit file pair.  {!Fsck.repair} uses it to
+    replay the journal's valid prefix over a {e previous generation}
+    image when the current snapshot is corrupt; replay stops (with a
+    [journal_truncation] report) at the first record the older image
+    cannot absorb. *)
+
 val resume :
   ?guard:Mdqa_datalog.Guard.t ->
   ?compact_bytes:int ->
@@ -168,11 +197,10 @@ val append_journal_bytes : path:string -> string -> (unit, string) result
     partial frames are harmless: recovery truncates at the first
     invalid frame, exactly as after a local crash. *)
 
-(** {1 Inspection} *)
+(** {1 Inspection}
 
-val verify : path:string -> Mdqa_datalog.Diag.t list * string list
-(** Integrity report for [mdqa store verify]: located diagnostics
-    (E023 store-corrupt, W046 store-truncated, H052 stale temp file)
-    plus human-readable summary lines.  Never raises. *)
+    Integrity checking and repair live in {!Fsck}: [Fsck.check] is the
+    report behind [mdqa store verify], [Fsck.repair] the salvage chain
+    behind [mdqa store fsck --repair]. *)
 
 val pp_load_error : Format.formatter -> load_error -> unit

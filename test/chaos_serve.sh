@@ -17,6 +17,12 @@
 # SIGKILLed under a failover-client burst, promotes itself with zero
 # acknowledged-reply loss.
 #
+# A fourth battery (scrub-chaos) targets the online scrubber: a byte
+# flipped under the live server is detected exactly once, trips the
+# checkpoint breaker, is repaired from the generation chain, and the
+# breaker heals — queries are answered throughout; a standby that
+# fails scrub re-syncs from its primary.
+#
 # Usage: chaos_serve.sh MDQA_EXE
 #
 # CHAOS_WORKERS=N (default 0) additionally runs the *entire* baseline
@@ -657,5 +663,153 @@ for f in "$perr" "$serr"; do
   fi
 done
 
-echo "chaos_serve: survived SIGKILL, store faults, garbage, slow-loris, overload, a 500-request soak, a worker-pool battery (crash/kill/hang/storm/metrics), and a replication battery (sync/stale-reads/failover-promote/failpoints/divergence) with CHAOS_WORKERS=$CHAOS_WORKERS"
+# ======================================================================
+# Scrub battery (scrub-chaos): `--scrub-interval` re-verifies the store
+# CRCs from the select loop.  A byte flipped under the running server
+# is detected (exactly once — findings deduplicate), trips the
+# checkpoint breaker, is repaired from the generation chain on the next
+# scrub tick, and the breaker heals — while every query keeps being
+# answered.  A standby that fails scrub re-syncs from its primary.
+# ======================================================================
+scsock="$dir/scrub.sock"; scstore="$dir/scrub.snap"
+scerr="$dir/scrub.err"
+trap 'kill -9 "${pid:-0}" "${ppid:-0}" "${spid:-0}" "${scpid:-0}" 2>/dev/null; rm -rf "$dir"' EXIT
+
+# xor one bit into $1 at offset $2 (a guaranteed change, unlike
+# overwriting with a constant)
+flipb() {
+  b=$(od -An -tu1 -j "$2" -N1 "$1" | tr -d ' \t')
+  printf "\\$(printf '%03o' $((b ^ 1)))" \
+    | dd of="$1" bs=1 seek="$2" conv=notrunc 2>/dev/null
+}
+
+scrub_metric() {
+  # $1 = metric name; prints its value (0 when absent)
+  timeout 30 "$exe" metrics --remote "$scsock" 2>/dev/null \
+    | awk -v m="$1" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+"$exe" serve "$prog" --socket "$scsock" --store "$scstore" \
+  --checkpoint-every 5 --scrub-interval 0.2 --drain-grace 5 2>>"$scerr" &
+scpid=$!
+printf '{"kind":"ping"}\n' | timeout 30 "$exe" remote --retry "$scsock" \
+  > /dev/null 2>&1 || fail "scrub server never became ready" "$scerr"
+"$exe" query --remote "$scsock" -q "$q" > "$dir/scrub_baseline.out" 2>/dev/null
+[ -s "$dir/scrub_baseline.out" ] || fail "no scrub baseline" "$scerr"
+
+# force a periodic checkpoint so the generation chain exists to salvage
+# from (rotation needs a second snapshot write)
+i=0
+while [ "$i" -lt 6 ]; do
+  printf '{"kind":"query","query":"%s"}\n' "$q"
+  i=$((i + 1))
+done | timeout 30 "$exe" remote "$scsock" > /dev/null 2>&1
+[ -f "$scstore.1" ] || fail "no generation after periodic checkpoints" "$scerr"
+
+# S1: a clean store scrubs quietly; progress and the generation chain
+# are visible as metrics
+sleep 1
+[ "$(scrub_metric mdqa_store_scrub_bytes_total)" -gt 0 ] \
+  || fail "scrubber reported no bytes scrubbed on a clean store" "$scerr"
+[ "$(scrub_metric mdqa_store_scrub_errors_total)" -eq 0 ] \
+  || fail "scrubber found errors in a clean store" "$scerr"
+[ "$(scrub_metric mdqa_store_generation)" -ge 1 ] \
+  || fail "mdqa_store_generation gauge must count the chain" "$scerr"
+
+# S2: flip one byte under the live server: detected exactly once
+size=$(wc -c < "$scstore")
+flipb "$scstore" $((size - 3))
+i=0
+while [ "$(scrub_metric mdqa_store_scrub_errors_total)" -eq 0 ]; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || fail "scrub never detected the flipped byte" "$scerr"
+  sleep 0.2
+done
+
+# the finding trips the checkpoint breaker (gauge transition 0 -> 1)
+timeout 30 "$exe" metrics --remote "$scsock" > "$dir/scrub_open.out" 2>&1
+grep -q '^mdqa_server_breaker_state 1$' "$dir/scrub_open.out" \
+  || fail "scrub finding must trip the breaker open" \
+       "$dir/scrub_open.out" "$scerr"
+
+# ... while queries keep being answered, byte-identically
+"$exe" query --remote "$scsock" -q "$q" > "$dir/scrub_during.out" 2>/dev/null
+cmp -s "$dir/scrub_baseline.out" "$dir/scrub_during.out" \
+  || fail "answers changed while the store was damaged" \
+       "$dir/scrub_baseline.out" "$dir/scrub_during.out"
+
+# S3: the one-shot repair runs on the next tick and the walk restarts
+i=0
+while [ "$(scrub_metric mdqa_store_scrub_repairs_total)" -eq 0 ]; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || fail "scrub never attempted the one-shot repair" "$scerr"
+  sleep 0.2
+done
+[ -d "$scstore.d/quarantine" ] \
+  || fail "scrub repair left no quarantined evidence" "$scerr"
+
+# the breaker heals: checkpoints start succeeding again once the
+# cooldown lets a half-open probe through
+i=0
+while :; do
+  j=0
+  while [ "$j" -lt 5 ]; do
+    printf '{"kind":"query","query":"%s"}\n' "$q"
+    j=$((j + 1))
+  done | timeout 30 "$exe" remote "$scsock" > /dev/null 2>&1
+  printf '{"kind":"health"}\n' | timeout 30 "$exe" remote "$scsock" \
+    > "$dir/scrub_health.out" 2>&1
+  grep -q '"state":"closed"' "$dir/scrub_health.out" && break
+  i=$((i + 1))
+  [ "$i" -le 40 ] || fail "breaker never healed after the scrub repair" \
+    "$dir/scrub_health.out" "$scerr"
+  sleep 0.5
+done
+
+# exactly one injected fault => exactly one counted error, even after
+# many more scrub cycles (findings deduplicate per offset)
+sleep 1
+[ "$(scrub_metric mdqa_store_scrub_errors_total)" -eq 1 ] \
+  || fail "scrub error counter must reflect exactly the injected faults" \
+       "$scerr"
+
+kill -TERM "$scpid" 2>/dev/null
+wait "$scpid" 2>/dev/null
+rc=$?
+{ [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]; } \
+  || fail "scrub server drain must exit 0 or 2, got $rc" "$scerr"
+timeout 60 "$exe" store verify "$scstore" > "$dir/scrub_verify.out" 2>&1 \
+  || fail "store must verify clean after the scrub battery" \
+       "$dir/scrub_verify.out" "$scerr"
+
+# S4: a standby that fails scrub re-syncs from its primary
+rm -f "$pstore" "$pstore.journal" "$sstore" "$sstore.journal"
+start_primary ''
+"$exe" serve --socket "$ssock" --store "$sstore" --replica-of "$psock" \
+  --repl-interval 0.2 --promote-after 1000 --scrub-interval 0.2 \
+  --drain-grace 5 2>>"$serr" &
+spid=$!
+printf '{"kind":"ping"}\n' | timeout 30 "$exe" remote --retry "$ssock" \
+  > /dev/null 2>&1 || fail "scrubbing standby never became ready" "$serr"
+size=$(wc -c < "$sstore")
+flipb "$sstore" $((size - 3))
+i=0
+while ! cmp -s "$pstore" "$sstore"; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "standby never re-synced after failing scrub" \
+    "$serr" "$perr"
+  sleep 0.2
+done
+"$exe" query --remote "$ssock" -q "$q" > "$dir/scrub_standby.out" 2>/dev/null
+cmp -s "$dir/repl_baseline.out" "$dir/scrub_standby.out" \
+  || fail "re-synced standby answers differ from the primary's" \
+       "$dir/repl_baseline.out" "$dir/scrub_standby.out"
+stop_rc "$spid"
+stop_rc "$ppid"
+
+if grep -Eq 'Fatal error|Raised at|Raised by' "$scerr"; then
+  fail "unhandled exception in scrub battery stderr" "$scerr"
+fi
+
+echo "chaos_serve: survived SIGKILL, store faults, garbage, slow-loris, overload, a 500-request soak, a worker-pool battery (crash/kill/hang/storm/metrics), a replication battery (sync/stale-reads/failover-promote/failpoints/divergence), and a scrub battery (detect/trip/repair/heal, standby re-sync) with CHAOS_WORKERS=$CHAOS_WORKERS"
 exit 0

@@ -2,9 +2,10 @@
 # Fault-injection sweep for the checkpoint store, end to end through the
 # CLI: interrupt a checkpointed chase, resume it; corrupt the files with
 # dd (truncation, bit damage, garbage temp files) and demand that
-# `mdqa store verify` and `mdqa resume` always terminate with a
-# meaningful exit code (0 clean / 2 truncated journal / 1 corrupt
-# snapshot) — never a crash, never a hang.
+# `mdqa store verify`, `mdqa store fsck [--repair]` and `mdqa resume`
+# always terminate with a meaningful exit code (0 clean / 2 salvageable
+# / 1 unrepairable) — never a crash, never a hang — and that --repair
+# hands back a verified store with the originals quarantined.
 #
 # Usage: store_fuzz.sh MDQA_EXE
 set -u
@@ -71,22 +72,25 @@ if [ -f "$jn" ]; then
   run "resume with torn journal" 0 "$exe" resume "$ck"
 fi
 
-# 3. corrupted snapshot: detected, reported, exit 1 — never a crash
+# 3. corrupted snapshot: detected and reported — exit 2 now that the
+#    generation chain keeps a clean previous image to salvage from
+#    (exit 0 when the damaged byte happened to already be 0xFF)
 run "make store" 2 "$exe" chase "$prog" --checkpoint "$ck" --max-steps 50
 size=$(wc -c < "$ck")
 for off in 0 8 12 20 $((size / 2)) $((size - 2)); do
   cp "$ck" "$ck.orig"
   printf '\377' | dd of="$ck" bs=1 seek="$off" conv=notrunc 2>/dev/null
-  run "verify with snapshot byte $off damaged" "1 0" "$exe" store verify "$ck"
+  run "verify with snapshot byte $off damaged" "2 0" "$exe" store verify "$ck"
   run "resume with snapshot byte $off damaged" "1 0" "$exe" resume "$ck"
   mv "$ck.orig" "$ck"
 done
 
-# 4. truncated snapshot at several prefixes
+# 4. truncated snapshot at several prefixes: salvageable, and resume
+#    (which never consults generations) still refuses
 for frac in 4 2; do
   cp "$ck" "$ck.orig"
   dd if="$ck.orig" of="$ck" bs=1 count=$((size / frac)) 2>/dev/null
-  run "verify with snapshot cut to 1/$frac" 1 "$exe" store verify "$ck"
+  run "verify with snapshot cut to 1/$frac" 2 "$exe" store verify "$ck"
   run "resume with snapshot cut to 1/$frac" 1 "$exe" resume "$ck"
   mv "$ck.orig" "$ck"
 done
@@ -97,7 +101,37 @@ run "verify with stale temp" "0 2" "$exe" store verify "$ck"
 run "resume with stale temp" 0 "$exe" resume "$ck"
 rm -f "$ck.tmp"
 
-# 6. missing / foreign stores
+# 6. fsck --repair: a truncated snapshot is salvaged from the
+#    generation chain, the repaired store verifies clean and resumes,
+#    and the damaged original lands in quarantine
+dd if="$ck" of="$ck.cut" bs=1 count=$((size / 2)) 2>/dev/null
+mv "$ck.cut" "$ck"
+run "fsck reports salvageable" 2 "$exe" store fsck "$ck"
+run "fsck --repair salvages" 0 "$exe" store fsck "$ck" --repair
+run "verify after repair" 0 "$exe" store verify "$ck"
+run "fsck --json after repair" 0 "$exe" store fsck "$ck" --json
+run "resume after repair" 0 "$exe" resume "$ck"
+[ -d "$ck.d/quarantine" ] && [ -n "$(ls -A "$ck.d/quarantine")" ] || {
+  echo "store_fuzz FAIL: repair left no quarantined evidence" >&2
+  status=1
+}
+
+# 7. fsck --repair with no clean copy anywhere: exit 1 with E032 and
+#    the damaged bytes left exactly where they were (evidence, not data)
+rm -f "$ck.1" "$ck.2" "$ck.3"
+printf '\377\376' | dd of="$ck" bs=1 seek=2 conv=notrunc 2>/dev/null
+cp "$ck" "$ck.damaged"
+run "fsck of an unrepairable store" 1 "$exe" store fsck "$ck"
+run "fsck --repair of an unrepairable store" 1 "$exe" store fsck "$ck" --repair
+run "fsck --repair --json of an unrepairable store" 1 \
+  "$exe" store fsck "$ck" --repair --json
+cmp -s "$ck" "$ck.damaged" || {
+  echo "store_fuzz FAIL: repair touched unrepairable evidence" >&2
+  status=1
+}
+rm -f "$ck.damaged"
+
+# 8. missing / foreign stores
 run "verify of a missing store" 1 "$exe" store verify "$dir/nothing.snap"
 run "resume of a missing store" 1 "$exe" resume "$dir/nothing.snap"
 echo "this is not a snapshot" > "$dir/foreign.snap"

@@ -88,8 +88,11 @@ let write_primary path =
   (read_file path, read_file (Store.journal_path path))
 
 let no_corruption_diags path =
-  let diags, _ = Store.verify ~path in
-  not (List.exists (fun d -> d.Diag.code = "E023") diags)
+  let rep = Mdqa_store.Fsck.check ~path in
+  not
+    (List.exists
+       (fun d -> d.Diag.code = "E023")
+       rep.Mdqa_store.Fsck.diags)
 
 (* --- hex codec ------------------------------------------------------- *)
 
@@ -492,7 +495,9 @@ let test_replication_codes_registered () =
         (code ^ " in the code table") true
         (List.mem_assoc code Diag.codes))
     [ ("E030", "replication-divergence"); ("E031", "replication-refused");
-      ("W050", "stale-read"); ("H055", "promoted") ]
+      ("W050", "stale-read"); ("H055", "promoted");
+      ("E032", "unrepairable-store"); ("W051", "salvaged-from-generation");
+      ("W052", "journal-records-dropped"); ("H056", "quarantined-file") ]
 
 let suites =
   [ ( "replication.codec",
