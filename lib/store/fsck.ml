@@ -13,6 +13,7 @@
    no worse than the one repair started from. *)
 
 module Diag = Mdqa_datalog.Diag
+module Parser = Mdqa_datalog.Parser
 
 type damage_kind =
   | Bad_header
@@ -20,6 +21,7 @@ type damage_kind =
   | Crc_mismatch
   | Inapplicable
   | Unreadable
+  | Bad_program
 
 type damage = {
   file : string;
@@ -49,6 +51,7 @@ let kind_name = function
   | Crc_mismatch -> "crc-mismatch"
   | Inapplicable -> "inapplicable-record"
   | Unreadable -> "unreadable"
+  | Bad_program -> "bad-program"
 
 let status_name = function
   | Clean -> "clean"
@@ -115,34 +118,67 @@ let mkdir_p dir =
 
 let quarantine_dir path = path ^ ".d" ^ Filename.dir_sep ^ "quarantine"
 
+(* Numbered destinations keep every incident's evidence. *)
+let quarantine_dest ~path file =
+  let dir = quarantine_dir path in
+  mkdir_p dir;
+  let base = Filename.basename file in
+  let rec pick n =
+    let d = Filename.concat dir (Printf.sprintf "%s.%d" base n) in
+    if Sys.file_exists d then pick (n + 1) else d
+  in
+  pick 1
+
 (* Move (never delete) a damaged original out of the way.  Rename, not
    copy: it needs no read permission on a sick file, it is atomic, and
    the repair that follows writes a complete fresh file at the original
-   path.  Numbered destinations keep every incident's evidence. *)
+   path. *)
 let quarantine ~path file =
   if not (Sys.file_exists file) then None
   else begin
-    let dir = quarantine_dir path in
-    mkdir_p dir;
-    let base = Filename.basename file in
-    let rec pick n =
-      let d = Filename.concat dir (Printf.sprintf "%s.%d" base n) in
-      if Sys.file_exists d then pick (n + 1) else d
-    in
-    let dest = pick 1 in
+    let dest = quarantine_dest ~path file in
     Unix.rename file dest;
-    Snapshot.fsync_dir dir;
+    Snapshot.fsync_dir (quarantine_dir path);
     Snapshot.fsync_dir (Filename.dirname file);
     Some dest
   end
 
-(* The newest previous generation whose image decodes cleanly. *)
+(* Preserve a damaged original WITHOUT vacating its path: a hard link
+   into quarantine keeps the sick inode alive while a replacement
+   commits over the path by rename, so there is no instant where the
+   store has no file at all.  Degrades to the rename on filesystems
+   without hard links. *)
+let quarantine_link ~path file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let dest = quarantine_dest ~path file in
+    (match Unix.link file dest with
+     | () -> ()
+     | exception Unix.Unix_error (_, _, _) -> Unix.rename file dest);
+    Snapshot.fsync_dir (quarantine_dir path);
+    Snapshot.fsync_dir (Filename.dirname file);
+    Some dest
+  end
+
+(* A salvage base must both decode and carry a program that still
+   parses: [resume] needs the program, so an image with valid CRCs but
+   unparseable program text (a writer bug, not bit rot) is no base. *)
+let program_parses text =
+  match Parser.parse_string text with
+  | _ -> true
+  | exception Parser.Error _ -> false
+
+let snapshot_usable path =
+  match Snapshot.read ~path with
+  | Error _ -> false
+  | Ok snap -> program_parses snap.Snapshot.program_text
+
+(* The newest previous generation usable as a salvage base. *)
 let first_clean_generation path =
   let n = Store.generations ~path in
   let rec go k =
     if k > n then None
-    else if Result.is_ok (Snapshot.read ~path:(Store.generation_path path k))
-    then Some k
+    else if snapshot_usable (Store.generation_path path k) then Some k
     else go (k + 1)
   in
   go 1
@@ -202,48 +238,9 @@ let snapshot_damage_text path = function
 let check ~path =
   let c = collector () in
   let jpath = Store.journal_path path in
-  let snapshot_state =
-    if not (Sys.file_exists path) then `Missing
-    else
-      match Snapshot.read ~path with
-      | Ok _ -> `Ok
-      | Error corr -> `Damaged (classify_snapshot path corr)
-  in
-  match snapshot_state with
-  | `Ok -> (
-    match Store.load ~path with
-    | Error e ->
-      (* the snapshot decoded a moment ago; only a race can land here *)
-      addd c
-        (Diag.make ~file:path Diag.Error ~code:"E023"
-           (Format.asprintf "%a" Store.pp_load_error e));
-      addd c
-        (Diag.make ~file:path Diag.Error ~code:"E032"
-           "store unrepairable: it changed underneath the check; re-run");
-      finish c ~path ~status:Unrepairable ~damage:[] ~plan:None
-        ~repaired:false
-    | Ok r -> (
-      recovery_infos c jpath r;
-      match r.journal_truncation with
-      | None ->
-        finish c ~path ~status:Clean ~damage:[] ~plan:None ~repaired:false
-      | Some t ->
-        let d = classify_journal jpath t in
-        addd c
-          (Diag.make ~file:jpath Diag.Warning ~code:"W046"
-             (Format.asprintf
-                "journal truncated at %a (%s); %d records recovered"
-                Journal.pp_truncation t (kind_name d.kind) r.replayed));
-        finish c ~path ~status:Salvageable ~damage:[ d ]
-          ~plan:
-            (Some
-               (Printf.sprintf
-                  "fold the %d recovered journal records into a fresh \
-                   snapshot and drop the damaged suffix"
-                  r.replayed))
-          ~repaired:false))
-  | (`Missing | `Damaged _) as snap -> (
-    let dmg = match snap with `Damaged d -> Some d | `Missing -> None in
+  (* The current snapshot is not a salvage base: probe the generation
+     chain.  [dmg = None] means the snapshot is missing outright. *)
+  let salvage_via_generations dmg =
     let damage = Option.to_list dmg in
     match first_clean_generation path with
     | Some k ->
@@ -275,7 +272,66 @@ let check ~path =
                 "store unrepairable: no clean snapshot and none of the %d \
                  previous generation(s) decode cleanly"
                 gens));
-      finish c ~path ~status:Unrepairable ~damage ~plan:None ~repaired:false)
+      finish c ~path ~status:Unrepairable ~damage ~plan:None ~repaired:false
+  in
+  let bad_program_damage ~line ~message =
+    { file = path;
+      kind = Bad_program;
+      offset = 0;
+      reason =
+        Printf.sprintf "stored program no longer parses (line %d): %s" line
+          message }
+  in
+  let snapshot_state =
+    if not (Sys.file_exists path) then `Missing
+    else
+      match Snapshot.read ~path with
+      | Ok _ -> `Ok
+      | Error corr -> `Damaged (classify_snapshot path corr)
+  in
+  match snapshot_state with
+  | `Ok -> (
+    match Store.load ~path with
+    | Error (Store.Bad_program { line; message }) ->
+      (* deterministic, not a race: the image decodes (CRCs rule out
+         bit rot) but its program text cannot drive a resume *)
+      salvage_via_generations (Some (bad_program_damage ~line ~message))
+    | Error ((Store.No_store _ | Store.Corrupt_snapshot _) as e) ->
+      (* the snapshot decoded a moment ago; only a race can land here *)
+      addd c
+        (Diag.make ~file:path Diag.Error ~code:"E023"
+           (Format.asprintf "%a" Store.pp_load_error e));
+      addd c
+        (Diag.make ~file:path Diag.Error ~code:"E032"
+           "store unrepairable: it changed underneath the check; re-run");
+      finish c ~path ~status:Unrepairable ~damage:[] ~plan:None
+        ~repaired:false
+    | Ok r -> (
+      match Parser.parse_string r.program_text with
+      | exception Parser.Error { line; message; _ } ->
+        salvage_via_generations (Some (bad_program_damage ~line ~message))
+      | _ -> (
+        recovery_infos c jpath r;
+        match r.journal_truncation with
+        | None ->
+          finish c ~path ~status:Clean ~damage:[] ~plan:None ~repaired:false
+        | Some t ->
+          let d = classify_journal jpath t in
+          addd c
+            (Diag.make ~file:jpath Diag.Warning ~code:"W046"
+               (Format.asprintf
+                  "journal truncated at %a (%s); %d records recovered"
+                  Journal.pp_truncation t (kind_name d.kind) r.replayed));
+          finish c ~path ~status:Salvageable ~damage:[ d ]
+            ~plan:
+              (Some
+                 (Printf.sprintf
+                    "fold the %d recovered journal records into a fresh \
+                     snapshot and drop the damaged suffix"
+                    r.replayed))
+            ~repaired:false)))
+  | `Missing -> salvage_via_generations None
+  | `Damaged d -> salvage_via_generations (Some d)
 
 (* --- repair ----------------------------------------------------------- *)
 
@@ -304,8 +360,11 @@ let note_quarantined c what = function
 
 (* Execute the salvage chain.  Every stage is ordered so an I/O failure
    or crash mid-repair leaves the store recoverable by a later repair:
-   new data is committed (rename) before old files move, and quarantine
-   renames happen before anything overwrites their path. *)
+   the local stages commit new data (rename) before the old file leaves
+   its path (the damaged snapshot is preserved by a hard link, not
+   moved), and the peer re-sync stage — which must vacate the damaged
+   files before the ship installs — moves them straight back when the
+   sync fails, so an unrepairable store keeps its original bytes. *)
 let repair ?resync ~path () =
   Mdqa_obs.Failpoint.hit "store.fsck";
   let pre = check ~path in
@@ -316,8 +375,7 @@ let repair ?resync ~path () =
     let jpath = Store.journal_path path in
     let attempt () =
       match (pre.status, pre.plan) with
-      | Salvageable, _ when Sys.file_exists path
-                            && Result.is_ok (Snapshot.read ~path) ->
+      | Salvageable, _ when Sys.file_exists path && snapshot_usable path ->
         (* Stage 1: clean snapshot, damaged journal.  Fold the valid
            prefix in, then retire the journal.  The new snapshot
            commits FIRST: a failure after it leaves the journal's valid
@@ -354,7 +412,10 @@ let repair ?resync ~path () =
              Error (Format.asprintf "%a" Store.pp_load_error e)
            | Ok r ->
              let jsize = file_size jpath in
-             note_quarantined c "snapshot" (quarantine ~path path);
+             (* hard-link the damaged image into quarantine, then let
+                the replacement rename over it: evidence preserved with
+                no instant where [path] has no snapshot *)
+             note_quarantined c "snapshot" (quarantine_link ~path path);
              ignore (Snapshot.write ~path (snapshot_of_recovery r));
              note_quarantined c "journal" (quarantine ~path jpath);
              fresh_journal jpath;
@@ -378,17 +439,38 @@ let repair ?resync ~path () =
              Ok ()))
       | Unrepairable, _ -> (
         (* Stage 3: nothing local is salvageable; re-sync from a live
-           peer when the caller gave us one. *)
+           peer when the caller gave us one.  The damaged files move to
+           quarantine BEFORE the sync (a corrupt local image could
+           otherwise fail the peer's divergence check), but a failed
+           sync moves them straight back: an unrepairable store is left
+           byte-identical, not emptied into quarantine. *)
         match resync with
         | None -> Error "no local copy is salvageable"
         | Some sync ->
-          note_quarantined c "snapshot" (quarantine ~path path);
-          note_quarantined c "journal" (quarantine ~path jpath);
+          let qs = quarantine ~path path in
+          let qj = quarantine ~path jpath in
           (match sync () with
            | Ok () ->
+             note_quarantined c "snapshot" qs;
+             note_quarantined c "journal" qj;
              info c "repaired: store re-synced from peer";
              Ok ()
-           | Error msg -> Error (Printf.sprintf "peer re-sync failed: %s" msg)))
+           | Error msg ->
+             let restore what orig = function
+               | None -> ()
+               | Some dest ->
+                 if Sys.file_exists orig then
+                   (* the failed sync left something here; keep it and
+                      keep the evidence where it is *)
+                   note_quarantined c what (Some dest)
+                 else begin
+                   Unix.rename dest orig;
+                   Snapshot.fsync_dir (Filename.dirname orig)
+                 end
+             in
+             restore "snapshot" path qs;
+             restore "journal" jpath qj;
+             Error (Printf.sprintf "peer re-sync failed: %s" msg)))
       | Clean, _ -> Ok ()
     in
     let outcome =

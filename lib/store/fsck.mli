@@ -14,13 +14,16 @@
     + a re-sync from a live peer, when the caller supplies one (the CLI
       wires [--from HOST:PORT] to the replication ship API).
 
-    Repair never destroys evidence: every damaged original is renamed
-    into [<path>.d/quarantine/] (numbered, never overwritten) before a
-    fresh file takes its place, and each rewrite commits new data
-    (tmp + fsync + rename) before old files move — a crash at any point
-    mid-repair leaves a store no worse than the one repair started
-    from.  A store that no stage can save is reported [Unrepairable]
-    with [E032] and left untouched; repair never invents data. *)
+    Repair never destroys evidence: every damaged original is preserved
+    under [<path>.d/quarantine/] (numbered, never overwritten).  The
+    local stages commit new data (tmp + fsync + rename) before any old
+    file leaves its path (the damaged snapshot survives the rename via
+    a hard link into quarantine) — a crash at any point mid-repair
+    leaves a store no worse than the one repair started from.  The peer
+    re-sync stage must move the damaged files aside before the ship
+    installs; when the sync then fails they are moved straight back, so
+    a store that no stage can save is reported [Unrepairable] with
+    [E032] and keeps its original bytes; repair never invents data. *)
 
 type damage_kind =
   | Bad_header  (** magic/version/length framing is wrong *)
@@ -30,6 +33,10 @@ type damage_kind =
       (** a well-formed journal record its base image cannot absorb
           (foreign predicate or arity) — version or epoch skew *)
   | Unreadable  (** the file cannot be opened or read at all *)
+  | Bad_program
+      (** the image decodes but its stored program text no longer
+          parses — a writer bug, not bit rot (the section CRCs are
+          intact); the image cannot drive a resume *)
 
 type damage = {
   file : string;
@@ -72,8 +79,10 @@ val repair :
     second time.  [resync] is stage 3 — called only after the local
     stages are exhausted {e and} the damaged originals are quarantined,
     it must leave a fresh installable store at [path] (e.g. via
-    {!Store.install_stream}).  Never raises: unexpected I/O failures
-    come back as an [Unrepairable] report with [E032]. *)
+    {!Store.install_stream}); if it fails, the quarantined originals
+    are restored to their paths (except any a partial install already
+    replaced, which stay in quarantine).  Never raises: unexpected I/O
+    failures come back as an [Unrepairable] report with [E032]. *)
 
 val exit_code : report -> int
 (** The verify/fsck CLI contract: [Clean] 0, [Salvageable] 2,

@@ -94,11 +94,18 @@ let close_fd fdo =
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ()
 
+(* [close] can land mid-walk (the server closes the scrubber after a
+   repair rewrites the files under it), so the phases must come back to
+   the opens with the fds: a phase that survived pointing past [*_open]
+   would dereference a released fd on the next tick. *)
 let close t =
   close_fd t.snap_fd;
   close_fd t.jrnl_fd;
   t.snap_fd <- None;
-  t.jrnl_fd <- None
+  t.jrnl_fd <- None;
+  t.snap_phase <- S_open;
+  t.jrnl_phase <- J_open;
+  t.off <- 0
 
 (* pread without moving any shared cursor state between phases. *)
 let pread t fd ~off ~len =
@@ -136,9 +143,9 @@ let fstat_ok fd = try Some (Unix.fstat fd) with Unix.Unix_error _ -> None
 (* --- snapshot walk ---------------------------------------------------- *)
 
 let snap_step t out budget =
-  match t.snap_phase with
-  | S_done -> 0
-  | S_open -> (
+  match (t.snap_phase, t.snap_fd) with
+  | S_done, _ -> 0
+  | S_open, _ -> (
     match Unix.openfile t.path [ Unix.O_RDONLY ] 0 with
     | fd ->
       t.snap_fd <- Some fd;
@@ -152,8 +159,12 @@ let snap_step t out budget =
         (Printf.sprintf "snapshot unreadable: %s" (Unix.error_message e));
       t.snap_phase <- S_done;
       1)
-  | S_header -> (
-    let fd = Option.get t.snap_fd in
+  | (S_header | S_section _ | S_payload _), None ->
+    (* a [close] raced the walk: restart it rather than raise *)
+    t.snap_phase <- S_open;
+    t.off <- 0;
+    0
+  | S_header, Some fd -> (
     let got = pread t fd ~off:0 ~len:16 in
     if got < 16 then begin
       report t out ~ino:t.snap_ino ~offset:0 ~file:t.path
@@ -178,13 +189,12 @@ let snap_step t out budget =
       t.snap_phase <- S_section { left = u32 t.buf 12 };
       got
     end)
-  | S_section { left } ->
+  | S_section { left }, Some fd ->
     if left = 0 then begin
       t.snap_phase <- S_done;
       0
     end
     else begin
-      let fd = Option.get t.snap_fd in
       let got = pread t fd ~off:t.off ~len:9 in
       if got < 9 then begin
         report t out ~ino:t.snap_ino ~offset:t.off ~file:t.path
@@ -205,8 +215,7 @@ let snap_step t out budget =
       end;
       got
     end
-  | S_payload p ->
-    let fd = Option.get t.snap_fd in
+  | S_payload p, Some fd ->
     let want = min budget (p.end_off - t.off) in
     if want > 0 then begin
       let got = pread t fd ~off:t.off ~len:want in
@@ -251,9 +260,14 @@ let jrnl_live t upto =
 
 let jrnl_step t out budget =
   let jpath = Store.journal_path t.path in
-  match t.jrnl_phase with
-  | J_done -> 0
-  | J_open -> (
+  match (t.jrnl_phase, t.jrnl_fd) with
+  | J_done, _ -> 0
+  | (J_frame | J_payload _), None ->
+    (* a [close] raced the walk: restart it rather than raise *)
+    t.jrnl_phase <- J_open;
+    t.off <- 0;
+    0
+  | J_open, _ -> (
     match Unix.openfile jpath [ Unix.O_RDONLY ] 0 with
     | fd ->
       t.jrnl_fd <- Some fd;
@@ -281,8 +295,7 @@ let jrnl_step t out budget =
       (* absent journal: a freshly-compacted store is resetting it *)
       t.jrnl_phase <- J_done;
       0)
-  | J_frame -> (
-    let fd = Option.get t.jrnl_fd in
+  | J_frame, Some fd -> (
     let got = pread t fd ~off:t.off ~len:8 in
     if got < 8 then begin
       (* torn tail: the crash-normal ending, not damage *)
@@ -301,8 +314,7 @@ let jrnl_step t out budget =
         t.jrnl_phase <-
           J_payload { end_off = t.off + len; expect; run = Crc32.start };
         got)
-  | J_payload p ->
-    let fd = Option.get t.jrnl_fd in
+  | J_payload p, Some fd ->
     let want = min budget (p.end_off - t.off) in
     if want > 0 then begin
       let got = pread t fd ~off:t.off ~len:want in

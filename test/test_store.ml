@@ -810,6 +810,57 @@ let test_fsck_repair_idempotent =
       && read_file path = snap1
       && read_file (Store.journal_path path) = jrnl1)
 
+let test_fsck_failed_resync_restores_originals () =
+  let path, _ = completed_store () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  List.iter
+    (fun g -> if Sys.file_exists g then Sys.remove g)
+    [ Store.generation_path path 1; Store.generation_path path 2 ];
+  flip_byte path 4 (* Bad_header, no generations: only stage 3 applies *);
+  let jpath = Store.journal_path path in
+  let damaged = read_file path in
+  let journal = read_file jpath in
+  let called = ref false in
+  let rep =
+    Fsck.repair
+      ~resync:(fun () ->
+        called := true;
+        Error "peer down")
+      ~path ()
+  in
+  Alcotest.(check bool) "resync was attempted" true !called;
+  Alcotest.(check bool) "still unrepairable" true
+    (rep.Fsck.status = Fsck.Unrepairable);
+  (* the failed sync must not leave the store emptied into quarantine *)
+  Alcotest.(check bool) "damaged snapshot restored byte-identical" true
+    (Sys.file_exists path && read_file path = damaged);
+  Alcotest.(check bool) "journal restored byte-identical" true
+    (Sys.file_exists jpath && read_file jpath = journal);
+  Alcotest.(check (list string)) "nothing reported quarantined" []
+    rep.Fsck.quarantined;
+  let qdir = Fsck.quarantine_dir path in
+  Alcotest.(check bool) "quarantine holds no files" true
+    ((not (Sys.file_exists qdir)) || Array.length (Sys.readdir qdir) = 0)
+
+let test_fsck_bad_program_salvaged () =
+  let path, _ = completed_store () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  (* a validly-encoded image whose program text no longer parses: the
+     section CRCs cannot catch it, check must — and route it to the
+     generation stage instead of calling it a mid-check race *)
+  let snap = Result.get_ok (Snapshot.read ~path) in
+  ignore
+    (Snapshot.write ~path
+       { snap with Snapshot.program_text = "this is not a datalog program ((" });
+  let rep = Fsck.check ~path in
+  Alcotest.(check bool) "salvageable via a generation" true
+    (rep.Fsck.status = Fsck.Salvageable);
+  Alcotest.(check bool) "damage kind is bad-program" true
+    (List.exists (fun d -> d.Fsck.kind = Fsck.Bad_program) rep.Fsck.damage);
+  let r = Fsck.repair ~path () in
+  Alcotest.(check bool) "repaired from the generation" true r.Fsck.repaired;
+  check_repaired_store ~stage:"bad-program" path
+
 let test_scrub_clean_then_corrupt () =
   let path, _ = completed_store () in
   Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
@@ -838,6 +889,41 @@ let test_scrub_clean_then_corrupt () =
   let found = spin_until_cycles ~expect_clean:false 6 in
   Alcotest.(check int) "one corrupt byte, one finding" 1 found;
   Alcotest.(check int) "errors counter matches" 1 (Scrub.errors_found s)
+
+(* serve closes the scrubber right after a repair rewrites the files
+   under it, usually mid-walk on any store bigger than one tick's
+   budget: the next tick must start a fresh cycle, not raise *)
+let test_scrub_close_mid_walk_restarts () =
+  let path = tmp_store () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let big =
+    mk_instance
+      [ ( "big", 1,
+          List.init 64 (fun i ->
+              [ R.Value.sym (String.make 100 'x' ^ string_of_int i) ]) ) ]
+  in
+  ignore
+    (Snapshot.write ~path
+       { Snapshot.program_text = "e(1,2)."; variant = Chase.Restricted;
+         instance = big; null_base = 0; stats = stats_of (0, 0, 0, 0, 0);
+         frontier = None });
+  let s = Scrub.create ~budget:512 ~path () in
+  Fun.protect ~finally:(fun () -> Scrub.close s) @@ fun () ->
+  ignore (Scrub.tick s);
+  Alcotest.(check int) "one tick leaves the walk mid-cycle" 0 (Scrub.cycles s);
+  Scrub.close s;
+  let guard = ref 0 in
+  while Scrub.cycles s < 1 && !guard < 100_000 do
+    incr guard;
+    match Scrub.tick s with
+    | [] -> ()
+    | f :: _ ->
+      Alcotest.failf "clean store produced a finding after close: %s"
+        (Format.asprintf "%a" Scrub.pp_finding f)
+  done;
+  Alcotest.(check bool) "cycle completes after a mid-walk close" true
+    (Scrub.cycles s >= 1);
+  Alcotest.(check int) "no errors on a clean store" 0 (Scrub.errors_found s)
 
 let test_checkpoint_bytes_accounted () =
   let path = tmp_store () in
@@ -930,8 +1016,14 @@ let suites =
           test_fsck_bitflip_repair_sweep;
         Alcotest.test_case "unrepairable store left untouched" `Quick
           test_fsck_unrepairable_untouched;
+        Alcotest.test_case "failed peer re-sync restores the originals" `Quick
+          test_fsck_failed_resync_restores_originals;
+        Alcotest.test_case "bad program text salvaged via generation" `Quick
+          test_fsck_bad_program_salvaged;
         Alcotest.test_case "scrub: clean pass, dedup after damage" `Quick
-          test_scrub_clean_then_corrupt ]
+          test_scrub_clean_then_corrupt;
+        Alcotest.test_case "scrub: close mid-walk restarts cleanly" `Quick
+          test_scrub_close_mid_walk_restarts ]
       @ qcheck [ test_fsck_repair_idempotent ] );
     ( "store.guard",
       [ Alcotest.test_case "checkpoint bytes are accounted" `Quick
