@@ -24,6 +24,9 @@ module Trace = Mdqa_obs.Trace
 open Mdqa_datalog
 
 let emit_metrics = Array.exists (fun a -> a = "--emit-metrics") Sys.argv
+let profile_runs = Array.exists (fun a -> a = "--profile") Sys.argv
+
+module Profile = Mdqa_obs.Profile
 
 let v = Term.var
 let c s = Term.Const (R.Value.sym s)
@@ -382,7 +385,21 @@ let report_c3 () =
          every other consumer (exposition, Chase.stats) sees *)
       let guard = Guard.unlimited () in
       let metrics = Metrics.create () in
-      ignore (Context.assess ~guard ~metrics ctx ~source:src);
+      (* with --profile, the same instrumented run also feeds the
+         cost-attribution profiler, so each size's row carries a
+         per-rule time breakdown next to its guard consumption *)
+      let prof_snap =
+        if not profile_runs then None
+        else begin
+          let p = Profile.create () in
+          Profile.install p;
+          Fun.protect ~finally:Profile.uninstall (fun () ->
+              ignore (Context.assess ~guard ~metrics ctx ~source:src));
+          Some (Profile.snapshot p)
+        end
+      in
+      if prof_snap = None then
+        ignore (Context.assess ~guard ~metrics ctx ~source:src);
       Guard.record_metrics guard metrics;
       let snap = Metrics.snapshot metrics in
       let gauge name =
@@ -406,12 +423,35 @@ let report_c3 () =
         (gauge "mdqa_guard_steps")
         (gauge "mdqa_guard_nulls")
         (gauge "mdqa_guard_rows") ckpt_bytes;
-      if emit_metrics then
+      (match prof_snap with
+       | None -> ()
+       | Some ps ->
+         let hottest =
+           List.sort
+             (fun (_, (a : Profile.rule_stat)) (_, b) ->
+               compare (b.Profile.rule_seconds, b.Profile.triggers)
+                 (a.Profile.rule_seconds, a.Profile.triggers))
+             ps.Profile.rules
+         in
+         List.iteri
+           (fun i (name, (r : Profile.rule_stat)) ->
+             if i < 3 then
+               Printf.printf
+                 "         hot rule #%d: %-28s %.4fs (fires=%d triggers=%d)\n"
+                 (i + 1) name r.Profile.rule_seconds r.Profile.fires
+                 r.Profile.triggers)
+           hottest);
+      if emit_metrics || prof_snap <> None then
+        let profile_field =
+          match prof_snap with
+          | None -> ""
+          | Some ps -> Printf.sprintf ", \"profile\": %s" (Profile.to_json ps)
+        in
         json_rows :=
           Printf.sprintf
             "    {\"patients\": %d, \"chase_s\": %.6f, \"assess_s\": %.6f, \
-             \"metrics\": %s}"
-            n chase_t assess_t (Metrics.to_json snap)
+             \"metrics\": %s%s}"
+            n chase_t assess_t (Metrics.to_json snap) profile_field
           :: !json_rows)
     scaling_sizes;
   Printf.printf
@@ -423,7 +463,7 @@ let report_c3 () =
     "\n(slope = chase-time growth exponent vs input tuples between\n\
     \ consecutive sizes; polynomial data complexity shows as a small\n\
     \ bounded exponent)\n";
-  if emit_metrics then begin
+  if !json_rows <> [] then begin
     let json =
       Printf.sprintf
         "{\n  \"experiment\": \"c3\",\n  \"description\": \"chase + \
@@ -967,6 +1007,44 @@ let report_overhead () =
   let rec attempts k = k <= 4 && (attempt k || attempts (k + 1)) in
   verify "tracer overhead within the 2% budget" (attempts 1)
 
+(* Profiler overhead budget: the C3 assessment with the cost-attribution
+   profiler installed (per-rule timing, per-atom selectivity counting,
+   GC sampling at round boundaries) must stay within 5% of the
+   profiler-off run.  Same min-of-N interleaved discipline as the
+   tracer gate; the budget is wider because the profiler does real work
+   per body atom visit, not just a ref read. *)
+let report_profile_overhead () =
+  banner
+    "Overhead - profiler on vs off on the C3 assessment (budget: <= 5%)";
+  let g = Hospital.Gen.scale 160 in
+  let ctx = Hospital.Gen.context g in
+  let src = Hospital.Gen.source g in
+  let run () = ignore (Context.assess ctx ~source:src) in
+  let profiler = Profile.create () in
+  let sample_off () = snd (time_once run) in
+  let sample_on () =
+    Profile.install profiler;
+    Fun.protect
+      ~finally:(fun () ->
+        Profile.uninstall ();
+        Profile.clear profiler)
+      (fun () -> snd (time_once run))
+  in
+  let attempt k =
+    let n = 5 * k in
+    let min_off = ref infinity and min_on = ref infinity in
+    for _ = 1 to n do
+      min_off := Float.min !min_off (sample_off ());
+      min_on := Float.min !min_on (sample_on ())
+    done;
+    let ratio = !min_on /. !min_off in
+    Printf.printf "attempt %d: off %.4fs  on %.4fs  ratio %.4f (%d samples)\n"
+      k !min_off !min_on ratio n;
+    ratio <= 1.05
+  in
+  let rec attempts k = k <= 4 && (attempt k || attempts (k + 1)) in
+  verify "profiler overhead within the 5% budget" (attempts 1)
+
 let scaling () =
   report_c3 ();
   report_c4 ();
@@ -1082,6 +1160,7 @@ let () =
    | "scaling" -> scaling ()
    | "c3" -> report_c3 ()
    | "overhead" -> report_overhead ()
+   | "profile-overhead" -> report_profile_overhead ()
    | "store" -> report_store ()
    | "serve" -> report_serve ()
    | "micro" -> micro ()

@@ -1191,6 +1191,10 @@ let run_serve file socket port host store max_queue read_timeout
      the last few thousand spans of live behaviour, introspectable
      without restarting the server. *)
   Trace.install (Trace.create ~capacity:4096 ());
+  (* Likewise the cost-attribution profiler backs the "profile"
+     request: per-rule/per-atom chase statistics accumulated across
+     every request the server evaluates. *)
+  Mdqa_obs.Profile.install (Mdqa_obs.Profile.create ());
   let addr =
     match (socket, port) with
     | Some _, Some _ ->
@@ -1673,6 +1677,225 @@ let trace_cmd =
        ~doc:"Inspect span traces written by $(b,--trace).")
     [ trace_verify_cmd ]
 
+(* --- profile: cost attribution for the engine ------------------------ *)
+
+module Profile = Mdqa_obs.Profile
+module Stats = Mdqa_store.Stats
+
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Rows shown in the hot-rule and hot-atom tables.")
+
+let stats_store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"STORE"
+        ~doc:
+          "Merge this run's profile into the CRC-checked statistics \
+           sidecar $(docv).stats (created when absent), so selectivities \
+           accumulate across runs next to the checkpoint store.")
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Human report: phases first (the totals everything else attributes
+   into), then the hot tables, then the EXPLAIN-style per-rule plans. *)
+let print_profile_report ~top snap (tgds : Tgd.t list) =
+  let pf = Printf.printf in
+  if snap.Profile.phases <> [] then begin
+    pf "phases:\n";
+    List.iter
+      (fun (name, p) ->
+        pf "  %-12s calls=%-4d time=%.6fs\n" name p.Profile.calls
+          p.Profile.phase_seconds)
+      snap.Profile.phases;
+    print_newline ()
+  end;
+  let hot_rules =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare (b.Profile.rule_seconds, b.Profile.triggers)
+          (a.Profile.rule_seconds, a.Profile.triggers))
+      snap.Profile.rules
+  in
+  pf "hot rules (top %d of %d, by attributed time):\n" top
+    (List.length hot_rules);
+  pf "  %-32s %8s %10s %10s %12s\n" "rule" "fires" "triggers" "matches"
+    "seconds";
+  List.iter
+    (fun (name, r) ->
+      pf "  %-32s %8d %10d %10d %12.6f\n" name r.Profile.fires
+        r.Profile.triggers r.Profile.matches r.Profile.rule_seconds)
+    (take top hot_rules);
+  print_newline ();
+  let hot_atoms =
+    List.sort
+      (fun (_, (a : Profile.atom_stat)) (_, b) ->
+        compare (b.Profile.scanned, b.Profile.matched)
+          (a.Profile.scanned, a.Profile.matched))
+      snap.Profile.atoms
+  in
+  pf "hot atoms (top %d of %d, by tuples scanned):\n" top
+    (List.length hot_atoms);
+  pf "  %-40s %10s %10s %12s\n" "rule[atom] predicate" "scanned" "matched"
+    "selectivity";
+  List.iter
+    (fun ((scope, idx, pred), a) ->
+      pf "  %-40s %10d %10d %12.3f\n"
+        (Printf.sprintf "%s[%d] %s" scope idx pred)
+        a.Profile.scanned a.Profile.matched (Profile.selectivity a))
+    (take top hot_atoms);
+  print_newline ();
+  if snap.Profile.queries <> [] then begin
+    pf "queries:\n";
+    List.iter
+      (fun (name, q) ->
+        pf "  %-32s evals=%-6d time=%.6fs\n" name q.Profile.evals
+          q.Profile.query_seconds)
+      snap.Profile.queries;
+    print_newline ()
+  end;
+  if snap.Profile.rounds <> [] then begin
+    pf "rounds:\n";
+    List.iter
+      (fun (n, r) ->
+        pf
+          "  round %-3d time=%.6fs  gc: minor=%d major=%d  heap=%d words\n"
+          n r.Profile.round_seconds r.Profile.minor_collections
+          r.Profile.major_collections r.Profile.heap_words)
+      snap.Profile.rounds;
+    print_newline ()
+  end;
+  if tgds <> [] then begin
+    pf "plan (per-rule, body atoms in source order):\n";
+    Format.printf "%a@." Explain.pp_cost
+      (take top (Explain.cost snap tgds))
+  end
+
+let profile_finish ~json ~top ~stats snap tgds exit_code =
+  (match stats with
+  | Some store -> Stats.record ~store snap
+  | None -> ());
+  if json then print_endline (Profile.to_json snap)
+  else print_profile_report ~top snap tgds;
+  exit_code
+
+let with_profiler f =
+  let p = Profile.create () in
+  Profile.install p;
+  Fun.protect ~finally:Profile.uninstall (fun () -> f p)
+
+let run_profile_chase file json top stats oblivious max_steps max_nulls
+    timeout max_memory =
+  run_protected @@ fun () ->
+  let { Parser.program; _ } = load file in
+  let inst = Program.instance_of_facts program in
+  let variant = if oblivious then Chase.Oblivious else Chase.Restricted in
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory () in
+  with_profiler @@ fun p ->
+  let r = Chase.run ~variant ~guard program inst in
+  (match r.Chase.outcome with
+  | Chase.Out_of_budget e -> report_degraded e
+  | _ -> ());
+  profile_finish ~json ~top ~stats (Profile.snapshot p)
+    program.Program.tgds (chase_exit r)
+
+(* `profile assess` profiles the assessment workload: the full .mdq
+   pipeline (chase + quality-query evaluation), or for a plain .dl
+   program the chase plus its embedded queries — so per-CQ timings are
+   populated either way. *)
+let run_profile_assess file json top stats max_steps max_nulls timeout
+    max_memory =
+  run_protected @@ fun () ->
+  let guard = make_guard ~max_steps ~max_nulls ~timeout ~max_memory () in
+  with_profiler @@ fun p ->
+  if Filename.check_suffix file ".mdq" then begin
+    let module Context = Mdqa_context.Context in
+    let parsed =
+      let checked = Mdqa_context.Md_parser.check_file file in
+      match checked.Mdqa_context.Md_parser.parsed with
+      | Some parsed -> parsed
+      | None ->
+        report_error_diags checked.Mdqa_context.Md_parser.diags;
+        raise Fatal_diags
+    in
+    let { Mdqa_context.Md_parser.context; source; queries; _ } = parsed in
+    let a = Context.assess ~guard context ~source in
+    let partial = Context.degradation a <> None in
+    List.iter
+      (fun q -> ignore (Context.clean_answers ~partial a q))
+      queries;
+    (match Context.degradation a with
+    | Some e -> report_degraded e
+    | None -> ());
+    let code =
+      match a.Context.chase.Chase.outcome with
+      | Chase.Failed _ -> exit_error
+      | Chase.Out_of_budget _ -> exit_degraded
+      | Chase.Saturated -> exit_complete
+    in
+    profile_finish ~json ~top ~stats (Profile.snapshot p)
+      (Context.program context).Program.tgds code
+  end
+  else begin
+    let { Parser.program; queries } = load file in
+    let inst = Program.instance_of_facts program in
+    let r =
+      Profile.with_phase "assess" @@ fun () ->
+      let r = Chase.run ~guard program inst in
+      (match r.Chase.outcome with
+      | Chase.Failed _ -> ()
+      | _ ->
+        List.iter
+          (fun q -> ignore (Query.certain ~guard r.Chase.instance q))
+          queries);
+      r
+    in
+    (match r.Chase.outcome with
+    | Chase.Out_of_budget e -> report_degraded e
+    | _ -> ());
+    profile_finish ~json ~top ~stats (Profile.snapshot p)
+      program.Program.tgds (chase_exit r)
+  end
+
+let profile_chase_cmd =
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:
+         "Chase a program under the cost-attribution profiler and report \
+          per-rule fire/trigger/match counts and time, per-atom join \
+          selectivities, per-round wall time and GC deltas.")
+    Cterm.(
+      const run_profile_chase $ file_arg $ json_arg $ top_arg
+      $ stats_store_arg $ oblivious_arg $ max_steps_arg $ max_nulls_arg
+      $ timeout_arg $ max_memory_arg)
+
+let profile_assess_cmd =
+  Cmd.v
+    (Cmd.info "assess"
+       ~doc:
+         "Profile a quality assessment: for an .mdq context the full \
+          pipeline (chase plus quality queries), for a Datalog± file the \
+          chase plus its embedded queries.  Reports hot rules, hot atoms, \
+          per-query timings and an EXPLAIN-style per-rule plan view.")
+    Cterm.(
+      const run_profile_assess $ file_arg $ json_arg $ top_arg
+      $ stats_store_arg $ max_steps_arg $ max_nulls_arg $ timeout_arg
+      $ max_memory_arg)
+
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:
+         "Cost-attribution profiling: which rule, which body atom, which \
+          query the engine spends its time on.  Off by default elsewhere; \
+          these subcommands install the profiler for one run.  With \
+          $(b,--stats STORE) the profile accumulates into the \
+          $(i,STORE).stats sidecar for statistics-driven planning.")
+    [ profile_chase_cmd; profile_assess_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "mdqa" ~version:"1.0.0"
@@ -1681,6 +1904,6 @@ let main_cmd =
           assessment — Datalog± engine CLI.")
     [ chase_cmd; resume_cmd; store_cmd; query_cmd; classify_cmd; check_cmd;
       consistency_cmd; context_cmd; serve_cmd; remote_cmd; metrics_cmd;
-      promote_cmd; trace_cmd ]
+      promote_cmd; trace_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

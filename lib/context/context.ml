@@ -81,6 +81,7 @@ let assess_prepared ?provenance ?guard ?max_steps ?max_nulls ?metrics t
   { context = t; chase; source }
 
 let assess ?provenance ?guard ?max_steps ?max_nulls ?metrics t ~source =
+  Mdqa_obs.Profile.with_phase "assess" @@ fun () ->
   assess_prepared ?provenance ?guard ?max_steps ?max_nulls ?metrics t ~source
     ~prepared:(prepare t ~source)
 

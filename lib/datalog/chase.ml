@@ -8,6 +8,7 @@ module Tuple = Mdqa_relational.Tuple
 module Value = Mdqa_relational.Value
 module Metrics = Mdqa_obs.Metrics
 module Trace = Mdqa_obs.Trace
+module Profile = Mdqa_obs.Profile
 
 type variant = Restricted | Oblivious
 
@@ -153,6 +154,16 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
   and base_triggers = Metrics.counter_value c_triggers
   and base_fires = Metrics.counter_value c_fires
   and base_merges = Metrics.counter_value c_merges in
+  (* Cost attribution: resolve the per-rule accumulator once per rule
+     so the trigger loop pays field writes, not lookups.  [prof] is
+     sampled once per run — installing a profiler mid-chase attributes
+     from the next run on. *)
+  let prof = Profile.installed () in
+  let prof_rule =
+    match prof with
+    | None -> fun _ -> None
+    | Some p -> fun name -> Some (Profile.rule p name)
+  in
   (* Delta of the previous round, per predicate. *)
   let delta : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
   let delta_mem pred t =
@@ -185,9 +196,10 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
     Eval.exists ~guard inst (List.map (Subst.apply_atom subst) tgd.Tgd.head)
   in
 
-  let fire_trigger added (tgd : Tgd.t) subst =
+  let fire_trigger added prof_h (tgd : Tgd.t) subst =
     Metrics.inc c_triggers;
     Guard.count_step guard;
+    (match prof_h with Some h -> Profile.add_trigger h | None -> ());
     let proceed =
       match variant with
       | Restricted -> not (head_satisfied tgd subst)
@@ -233,7 +245,8 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
           head;
         if !new_fact then begin
           Metrics.inc c_fires;
-          Metrics.inc (rule_fire_counter tgd.Tgd.name)
+          Metrics.inc (rule_fire_counter tgd.Tgd.name);
+          match prof_h with Some h -> Profile.add_fire h | None -> ()
         end
       in
       if Trace.active () then
@@ -329,6 +342,7 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
         prior.egd_merges + (Metrics.counter_value c_merges - base_merges) }
   in
   let outcome =
+    Profile.with_phase "chase" @@ fun () ->
     try
       (* The durable base image: everything below is journaled as a
          delta against the instance at this point. *)
@@ -373,15 +387,30 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
         Trace.with_span "chase.round"
           ~attrs:[ ("round", string_of_int round_no) ]
         @@ fun () ->
+        Profile.with_round round_no
+        @@ fun () ->
         let added : (string, Tuple.Set.t) Hashtbl.t = Hashtbl.create 16 in
         List.iter
           (fun (tgd : Tgd.t) ->
-            let triggers =
+            let ph = prof_rule tgd.Tgd.name in
+            let t0 = match prof with Some p -> Profile.now p | None -> 0. in
+            let enumerate () =
               if semi_naive && not !first_round then
                 Eval.delta_answers ~guard inst ~delta:delta_mem ~delta_tuples
                   tgd.Tgd.body
               else Eval.answers ~guard inst tgd.Tgd.body
             in
+            (* Atom-level scan/match statistics attribute to this rule
+               only during its own body enumeration — applicability
+               probes and EGD checks stay out of the tables. *)
+            let triggers =
+              match prof with
+              | Some p -> Profile.with_scope p tgd.Tgd.name enumerate
+              | None -> enumerate ()
+            in
+            (match ph with
+             | Some h -> Profile.add_matches h (List.length triggers)
+             | None -> ());
             (* For the restricted chase, matches differing only on
                head-irrelevant body variables are the same trigger;
                dedup on the frontier to avoid redundant head checks.
@@ -401,9 +430,13 @@ let run_internal ?(variant = Restricted) ?(semi_naive = true)
                 in
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.add seen key ();
-                  fire_trigger added tgd s
+                  fire_trigger added ph tgd s
                 end)
-              triggers)
+              triggers;
+            match prof, ph with
+            | Some p, Some h ->
+              Profile.add_rule_seconds h (Profile.now p -. t0)
+            | _ -> ())
           program.Program.tgds;
         let merged = apply_egds false in
         check_ncs ();

@@ -21,6 +21,7 @@ let bound_positions s (a : Atom.t) =
    selective (the [keep] filter preserves the delta restriction). *)
 type tagged = {
   t_atom : Atom.t;
+  t_idx : int;  (* source position in the rule body: the stable atom id *)
   keep : Tuple.t -> bool;
   candidates : (int * Tuple.t list) option;  (* None: scan the relation *)
 }
@@ -106,34 +107,58 @@ let search ?guard ?(cmps = []) inst tagged_atoms ~emit =
               else l
             | None -> Relation.scan r bound
           in
-          List.iter
-            (fun tuple ->
-              tick ();
-              if tg.keep tuple then
-                match
-                  Unify.match_against ~init:s ~pattern
-                    (Atom.of_fact (Atom.pred atom) tuple)
-                with
-                | Some s' -> go s' rest pending
-                | None -> ())
-            candidates))
+          (* With an attribution scope open (chase rule body or named
+             query), count tuples scanned and substitutions surviving
+             this atom; the counters flush once per atom visit so the
+             per-tuple loop stays allocation-free. *)
+          (match Mdqa_obs.Profile.scoped () with
+           | None ->
+             List.iter
+               (fun tuple ->
+                 tick ();
+                 if tg.keep tuple then
+                   match
+                     Unify.match_against ~init:s ~pattern
+                       (Atom.of_fact (Atom.pred atom) tuple)
+                   with
+                   | Some s' -> go s' rest pending
+                   | None -> ())
+               candidates
+           | Some p ->
+             let scanned = ref 0 and matched = ref 0 in
+             List.iter
+               (fun tuple ->
+                 tick ();
+                 incr scanned;
+                 if tg.keep tuple then
+                   match
+                     Unify.match_against ~init:s ~pattern
+                       (Atom.of_fact (Atom.pred atom) tuple)
+                   with
+                   | Some s' ->
+                     incr matched;
+                     go s' rest pending
+                   | None -> ())
+               candidates;
+             Mdqa_obs.Profile.atom_visit p ~idx:tg.t_idx
+               ~pred:(Atom.pred atom) ~scanned:!scanned ~matched:!matched)))
   in
   go Subst.empty tagged_atoms cmps
 
 let no_filter _ = true
 
-let plain a = { t_atom = a; keep = no_filter; candidates = None }
+let plain i a = { t_atom = a; t_idx = i; keep = no_filter; candidates = None }
 
 let answers ?guard ?cmps inst atoms =
   let out = ref [] in
-  search ?guard ?cmps inst (List.map plain atoms)
+  search ?guard ?cmps inst (List.mapi plain atoms)
     ~emit:(fun s -> out := s :: !out);
   List.rev !out
 
 let answers_guarded ?guard ?cmps inst atoms =
   let out = ref [] in
   match
-    search ?guard ?cmps inst (List.map plain atoms)
+    search ?guard ?cmps inst (List.mapi plain atoms)
       ~emit:(fun s -> out := s :: !out)
   with
   | () -> Guard.Complete (List.rev !out)
@@ -143,7 +168,7 @@ exception Found of Subst.t
 
 let first ?guard ?cmps inst atoms =
   try
-    search ?guard ?cmps inst (List.map plain atoms)
+    search ?guard ?cmps inst (List.mapi plain atoms)
       ~emit:(fun s -> raise (Found s));
     None
   with Found s -> Some s
@@ -171,6 +196,7 @@ let delta_answers ?guard ?cmps inst ~delta ?delta_tuples atoms =
         (fun j a ->
           if j = i then
             { t_atom = a;
+              t_idx = j;
               keep = (fun tuple -> delta (Atom.pred a) tuple);
               candidates =
                 (match delta_tuples with
@@ -180,9 +206,10 @@ let delta_answers ?guard ?cmps inst ~delta ?delta_tuples atoms =
                  | None -> None) }
           else if j < i then
             { t_atom = a;
+              t_idx = j;
               keep = (fun tuple -> not (delta (Atom.pred a) tuple));
               candidates = None }
-          else plain a)
+          else plain j a)
         atoms
     in
     search ?guard ?cmps inst tagged ~emit:(fun s -> out := s :: !out)

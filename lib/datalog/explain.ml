@@ -67,6 +67,72 @@ let extensional_support t =
   in
   Fact_set.elements (go Fact_set.empty t)
 
+(* ------------------------------------------------- cost explanation *)
+
+module Profile = Mdqa_obs.Profile
+
+type atom_cost = {
+  atom : Atom.t;
+  atom_idx : int;
+  scanned : int;
+  matched : int;
+}
+
+type rule_cost = {
+  rule_name : string;
+  fires : int;
+  triggers : int;
+  matches : int;
+  seconds : float;
+  body : atom_cost list;
+}
+
+let cost snap (tgds : Tgd.t list) =
+  let of_tgd (tgd : Tgd.t) =
+    let name = tgd.Tgd.name in
+    let fires, triggers, matches, seconds =
+      match Profile.find_rule snap name with
+      | Some r ->
+        ( r.Profile.fires, r.Profile.triggers, r.Profile.matches,
+          r.Profile.rule_seconds )
+      | None -> (0, 0, 0, 0.)
+    in
+    let body =
+      List.mapi
+        (fun i a ->
+          let scanned, matched =
+            match Profile.find_atom snap (name, i, Atom.pred a) with
+            | Some s -> (s.Profile.scanned, s.Profile.matched)
+            | None -> (0, 0)
+          in
+          { atom = a; atom_idx = i; scanned; matched })
+        tgd.Tgd.body
+    in
+    { rule_name = name; fires; triggers; matches; seconds; body }
+  in
+  List.map of_tgd tgds
+  |> List.sort (fun a b -> compare (b.seconds, b.rule_name) (a.seconds, a.rule_name))
+
+let atom_selectivity a =
+  if a.scanned = 0 then 0.
+  else float_of_int a.matched /. float_of_int a.scanned
+
+let pp_rule_cost ppf rc =
+  Format.fprintf ppf "@[<v>%s  fires=%d triggers=%d matches=%d time=%.6fs@,"
+    rc.rule_name rc.fires rc.triggers rc.matches rc.seconds;
+  List.iter
+    (fun ac ->
+      Format.fprintf ppf "  [%d] %a  scanned=%d matched=%d selectivity=%.3f@,"
+        ac.atom_idx Atom.pp ac.atom ac.scanned ac.matched
+        (atom_selectivity ac))
+    rc.body;
+  Format.fprintf ppf "@]"
+
+let pp_cost ppf costs =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun rc -> pp_rule_cost ppf rc) costs;
+  Format.fprintf ppf "@]"
+
 let pp ppf tree =
   let rec go indent t =
     let pred, tuple = t.fact in

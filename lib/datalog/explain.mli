@@ -30,6 +30,45 @@ val extensional_support : tree -> (string * Mdqa_relational.Tuple.t) list
 (** The extensional leaves the fact ultimately rests on (deduplicated,
     sorted). *)
 
+(** {1 Cost explanation}
+
+    The same vocabulary pointed at cost instead of derivation: where
+    [why] explains why a fact holds, [cost] explains where evaluation
+    time and join work went, per rule and per body atom, from a
+    {!Mdqa_obs.Profile} snapshot. *)
+
+type atom_cost = {
+  atom : Atom.t;
+  atom_idx : int;  (** source position in the rule body *)
+  scanned : int;  (** candidate tuples iterated at this atom *)
+  matched : int;  (** substitutions surviving unification here *)
+}
+
+type rule_cost = {
+  rule_name : string;
+  fires : int;
+  triggers : int;
+  matches : int;
+  seconds : float;
+  body : atom_cost list;  (** in body order *)
+}
+
+val cost : Mdqa_obs.Profile.snapshot -> Tgd.t list -> rule_cost list
+(** One {!rule_cost} per TGD (zeroed when the profiler never saw the
+    rule), hottest first. *)
+
+val atom_selectivity : atom_cost -> float
+(** [matched / scanned] ([0.] when nothing was scanned). *)
+
+val pp_rule_cost : Format.formatter -> rule_cost -> unit
+val pp_cost : Format.formatter -> rule_cost list -> unit
+(** EXPLAIN-style plan view:
+    {v
+    rule7_patient_unit  fires=12 triggers=40 matches=40 time=0.000412s
+      [0] PatientUnit(p, u)  scanned=120 matched=40 selectivity=0.333
+      ...
+    v} *)
+
 val pp : Format.formatter -> tree -> unit
 (** Indented rendering:
     {v

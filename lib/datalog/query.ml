@@ -73,6 +73,7 @@ let images_of q subs =
 
 let matches ?guard inst q =
   Mdqa_obs.Trace.with_span "eval" ~attrs:[ ("query", q.name) ] @@ fun () ->
+  Mdqa_obs.Profile.with_query q.name @@ fun () ->
   Tuple.Set.elements (images_of q (Eval.answers ?guard ~cmps:q.cmps inst q.body))
 
 let certain ?guard inst q =
@@ -113,7 +114,7 @@ let with_chase ?guard ?chase_variant ?(goal_directed = false) ?max_steps
   let stats = result.Chase.stats in
   let eval ?guard i =
     Mdqa_obs.Trace.with_span "eval" ~attrs:[ ("query", q.name) ] @@ fun () ->
-    eval ?guard i
+    Mdqa_obs.Profile.with_query q.name @@ fun () -> eval ?guard i
   in
   match result.Chase.outcome with
   | Chase.Saturated -> (

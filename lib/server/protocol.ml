@@ -18,6 +18,7 @@ type request =
   | Ping of { id : Jsonl.t option }
   | Metrics of { id : Jsonl.t option }
   | Spans of { id : Jsonl.t option }
+  | Profile of { id : Jsonl.t option }
   | Repl_status of { id : Jsonl.t option; acked : int option }
       (** a standby's heartbeat: the primary's replication status, and
           (when [acked] is given) the standby reporting the journal
@@ -35,7 +36,7 @@ type request =
 
 let request_id = function
   | Query { id; _ } | Health { id } | Ready { id } | Ping { id }
-  | Metrics { id } | Spans { id } | Repl_status { id; _ }
+  | Metrics { id } | Spans { id } | Profile { id } | Repl_status { id; _ }
   | Repl_fetch { id; _ } | Promote { id } ->
     id
 
@@ -46,6 +47,7 @@ let request_kind = function
   | Ping _ -> "ping"
   | Metrics _ -> "metrics"
   | Spans _ -> "spans"
+  | Profile _ -> "profile"
   | Repl_status _ -> "repl.status"
   | Repl_fetch _ -> "repl.fetch"
   | Promote _ -> "promote"
@@ -64,6 +66,7 @@ let parse_request line =
     | Some "ping" -> Ok (Ping { id })
     | Some "metrics" -> Ok (Metrics { id })
     | Some "spans" -> Ok (Spans { id })
+    | Some "profile" -> Ok (Profile { id })
     | Some "promote" -> Ok (Promote { id })
     | Some "repl.status" ->
       let acked = Option.map int_of_float (Jsonl.num_field "acked" obj) in

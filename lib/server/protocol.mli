@@ -52,6 +52,8 @@ type request =
   | Ping of { id : Jsonl.t option }
   | Metrics of { id : Jsonl.t option }
   | Spans of { id : Jsonl.t option }
+  | Profile of { id : Jsonl.t option }
+      (** snapshot of the installed cost-attribution profiler *)
   | Repl_status of { id : Jsonl.t option; acked : int option }
       (** standby heartbeat; [acked] reports the journal high-water
           mark the standby has durably applied *)

@@ -85,6 +85,9 @@ type state = {
           for at least one scrape *)
   mutable scrub_bytes_seen : int;  (** folded into the counter so far *)
   mutable scrub_errors_seen : int;
+  mutable trace_dropped_seen : int;
+      (** span-ring evictions already folded into
+          [mdqa_trace_dropped_total] *)
 }
 
 (* A promoted standby IS a primary — on the wire it says so, so a
@@ -250,6 +253,26 @@ let exposition st =
   (match st.sup with
   | Some s -> Supervisor.record_metrics s m
   | None -> ());
+  (* Process heap health, so growth is observable without a bench run.
+     [Gc.quick_stat] reads counters only — no heap traversal. *)
+  let g = Gc.quick_stat () in
+  set "mdqa_process_heap_words" "major heap size in words"
+    (float_of_int g.Gc.heap_words);
+  set "mdqa_process_minor_collections_total" "minor GC collections"
+    (float_of_int g.Gc.minor_collections);
+  set "mdqa_process_major_collections_total" "major GC collections"
+    (float_of_int g.Gc.major_collections);
+  (* Span-ring evictions, folded like the scrub counters: the tracer
+     reports a lifetime total, the registry wants increments. *)
+  (match Trace.installed () with
+  | Some tr ->
+    let dropped = Trace.dropped tr in
+    Metrics.add
+      (Metrics.counter m ~help:"trace spans evicted from the ring buffer"
+         "mdqa_trace_dropped_total")
+      (max 0 (dropped - st.trace_dropped_seen));
+    st.trace_dropped_seen <- dropped
+  | None -> ());
   Metrics.to_prometheus (Metrics.snapshot m)
 
 let spans_json () =
@@ -272,6 +295,14 @@ let spans_json () =
                   Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Str v)) attrs))
                ]))
          (Trace.events tr))
+
+let profile_json () =
+  match Mdqa_obs.Profile.installed () with
+  | None -> Jsonl.Obj []
+  | Some p -> (
+    match Jsonl.parse (Mdqa_obs.Profile.to_json (Mdqa_obs.Profile.snapshot p)) with
+    | Ok j -> j
+    | Error _ -> Jsonl.Obj [])
 
 let answer st conn req =
   let id = Protocol.request_id req in
@@ -299,6 +330,13 @@ let answer st conn req =
     | Protocol.Spans _ ->
       ( Protocol.obj_reply ?id ~status:"complete"
           [ ("spans", spans_json ()) ],
+        "complete",
+        None )
+    | Protocol.Profile _ ->
+      ( Protocol.obj_reply ?id ~status:"complete"
+          [ ("profile", profile_json ());
+            ("installed",
+             Jsonl.Bool (Mdqa_obs.Profile.active ())) ],
         "complete",
         None )
     | Protocol.Repl_status { acked; _ } ->
@@ -752,7 +790,8 @@ let run ?follower cfg svc =
       scrub_due = 0.;
       scrub_repair_pending = false;
       scrub_bytes_seen = 0;
-      scrub_errors_seen = 0 }
+      scrub_errors_seen = 0;
+      trace_dropped_seen = 0 }
   in
   (match (cfg.scrub_interval, Service.store_path svc) with
   | Some _, Some path ->

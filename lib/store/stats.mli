@@ -1,0 +1,35 @@
+(** Persisted engine-statistics sidecar.
+
+    A CRC-checked binary file written next to a checkpoint store
+    ([<store>.stats]) holding an accumulated {!Mdqa_obs.Profile}
+    snapshot — per-rule costs and per-atom selectivities from past
+    runs, the input a statistics-driven rule compiler needs before it
+    has seen any data of its own.
+
+    The sidecar is strictly additive metadata: the store layer never
+    reads it to answer queries, [mdqa store verify]/[fsck] treat it as
+    an opaque foreign file, and a missing or corrupt sidecar is never
+    an error — [record] simply starts a fresh accumulation.  Writes go
+    through the same tmp/fsync/rename discipline as {!Snapshot}, so a
+    torn write leaves the previous sidecar intact. *)
+
+val path_of : string -> string
+(** [path_of store] is the sidecar path for a store at [store]
+    ([store ^ ".stats"]). *)
+
+val magic : string
+(** ["MDQASTAT"]. *)
+
+val version : int
+
+val write : path:string -> Mdqa_obs.Profile.snapshot -> unit
+(** Atomically replace the sidecar at [path] with the snapshot. *)
+
+val read : path:string -> (Mdqa_obs.Profile.snapshot, string) result
+(** [Error] describes a missing file, bad magic/version, CRC mismatch
+    or truncated payload; it never raises. *)
+
+val record : store:string -> Mdqa_obs.Profile.snapshot -> unit
+(** Merge the snapshot into the sidecar next to [store] (an unreadable
+    or absent sidecar contributes {!Mdqa_obs.Profile.empty}) and write
+    the result back atomically. *)

@@ -305,6 +305,279 @@ let test_level_of_string () =
     [ ("debug", Some Logger.Debug); ("warning", Some Logger.Warn);
       ("ERROR", Some Logger.Error); ("loud", None) ]
 
+(* --- profiler properties ---------------------------------------------- *)
+
+module Profile = Mdqa_obs.Profile
+
+(* Snapshots are generated by replaying op scripts against a collector
+   with a fake integer clock, so every accumulated duration is an exact
+   float and merge algebra can be checked with [=].  The ops exercise
+   every table: rule counters, scoped atom visits, rounds, queries and
+   phases. *)
+let profile_snapshot_of ops =
+  let tick = ref 0. in
+  let clock () = !tick in
+  let p = Profile.create ~clock () in
+  Profile.install p;
+  Fun.protect ~finally:Profile.uninstall @@ fun () ->
+  List.iter
+    (fun n ->
+      let rname = Printf.sprintf "r%d" (n mod 3) in
+      let h = Profile.rule p rname in
+      match n mod 7 with
+      | 0 -> Profile.add_trigger h
+      | 1 -> Profile.add_fire h
+      | 2 -> Profile.add_matches h (n mod 5)
+      | 3 -> Profile.add_rule_seconds h (float_of_int (n mod 9))
+      | 4 ->
+        Profile.with_scope p rname (fun () ->
+            Profile.atom_visit p ~idx:(n mod 2) ~pred:"p"
+              ~scanned:(n mod 11) ~matched:(n mod 4))
+      | 5 ->
+        Profile.with_round (n mod 4) (fun () ->
+            tick := !tick +. float_of_int (n mod 6))
+      | _ ->
+        Profile.with_query
+          (Printf.sprintf "q%d" (n mod 2))
+          (fun () -> tick := !tick +. 1.))
+    ops;
+  Profile.snapshot p
+
+(* Structural equality, ignoring GC readings: the [with_round] op
+   samples the real [Gc.quick_stat], so two replays of the same script
+   may legitimately observe different collection counts.  The algebra
+   under test (counter and duration combination) is unaffected. *)
+let strip_gc (s : Profile.snapshot) =
+  { s with
+    Profile.rounds =
+      List.map
+        (fun (n, (r : Profile.round_stat)) ->
+          ( n,
+            { r with
+              Profile.minor_collections = 0; major_collections = 0;
+              heap_words = 0 } ))
+        s.Profile.rounds }
+
+let prop_profile_merge_commutative =
+  QCheck.Test.make ~name:"profile merge is commutative" ~count:200
+    (QCheck.pair obs_list_arb obs_list_arb) (fun (a, b) ->
+      let sa = profile_snapshot_of a and sb = profile_snapshot_of b in
+      Profile.merge sa sb = Profile.merge sb sa)
+
+let prop_profile_merge_associative =
+  QCheck.Test.make ~name:"profile merge is associative" ~count:200
+    (QCheck.triple obs_list_arb obs_list_arb obs_list_arb) (fun (a, b, c) ->
+      let sa = profile_snapshot_of a
+      and sb = profile_snapshot_of b
+      and sc = profile_snapshot_of c in
+      Profile.merge (Profile.merge sa sb) sc
+      = Profile.merge sa (Profile.merge sb sc))
+
+let prop_profile_merge_identity =
+  QCheck.Test.make ~name:"empty is the merge identity" ~count:200
+    obs_list_arb (fun a ->
+      let s = profile_snapshot_of a in
+      Profile.merge s Profile.empty = s
+      && Profile.merge Profile.empty s = s)
+
+let prop_profile_merge_counts_sum =
+  QCheck.Test.make ~name:"merge sums counters and durations" ~count:200
+    (QCheck.pair obs_list_arb obs_list_arb) (fun (a, b) ->
+      let sa = strip_gc (profile_snapshot_of a)
+      and sb = strip_gc (profile_snapshot_of b) in
+      let m = Profile.merge sa sb in
+      let rule_fires (s : Profile.snapshot) =
+        sum_int (List.map (fun (_, r) -> r.Profile.fires) s.Profile.rules)
+      and atom_scans (s : Profile.snapshot) =
+        sum_int (List.map (fun (_, a) -> a.Profile.scanned) s.Profile.atoms)
+      and query_evals (s : Profile.snapshot) =
+        sum_int (List.map (fun (_, q) -> q.Profile.evals) s.Profile.queries)
+      in
+      rule_fires m = rule_fires sa + rule_fires sb
+      && atom_scans m = atom_scans sa + atom_scans sb
+      && query_evals m = query_evals sa + query_evals sb
+      && Profile.total_rule_seconds m
+         = Profile.total_rule_seconds sa +. Profile.total_rule_seconds sb
+      && Profile.total_query_seconds m
+         = Profile.total_query_seconds sa +. Profile.total_query_seconds sb)
+
+let prop_profile_json_parses =
+  QCheck.Test.make ~name:"to_json is valid JSON with all sections"
+    ~count:100 obs_list_arb (fun a ->
+      let s = profile_snapshot_of a in
+      match Jsonl.parse (Profile.to_json s) with
+      | Error _ -> false
+      | Ok json ->
+        List.for_all
+          (fun k -> Jsonl.member k json <> None)
+          [ "rules"; "atoms"; "rounds"; "queries"; "phases" ])
+
+let test_profile_scope_discipline () =
+  let p = Profile.create ~clock:(fun () -> 0.) () in
+  Profile.install p;
+  Fun.protect ~finally:Profile.uninstall @@ fun () ->
+  Alcotest.(check bool) "no scope outside with_scope" true
+    (Profile.scoped () = None);
+  (* an unscoped visit must attribute nothing *)
+  Profile.atom_visit p ~idx:0 ~pred:"p" ~scanned:5 ~matched:2;
+  Alcotest.(check int) "unscoped visit dropped" 0
+    (List.length (Profile.snapshot p).Profile.atoms);
+  Profile.with_scope p "r" (fun () ->
+      Alcotest.(check bool) "scoped inside" true (Profile.scoped () <> None);
+      Profile.atom_visit p ~idx:1 ~pred:"q" ~scanned:3 ~matched:3);
+  Alcotest.(check bool) "scope restored" true (Profile.scoped () = None);
+  match Profile.find_atom (Profile.snapshot p) ("r", 1, "q") with
+  | Some a ->
+    Alcotest.(check int) "scanned" 3 a.Profile.scanned;
+    Alcotest.(check int) "matched" 3 a.Profile.matched
+  | None -> Alcotest.fail "scoped visit not attributed"
+
+let test_profile_off_is_transparent () =
+  Alcotest.(check bool) "inactive by default" false (Profile.active ());
+  (* the with_* hooks must reduce to plain calls when off *)
+  let r = Profile.with_round 1 (fun () -> Profile.with_phase "x" (fun () -> 41 + 1)) in
+  Alcotest.(check int) "value passes through" 42 r
+
+(* The acceptance pin: profiling the paper's hospital assessment must
+   attribute positive time to every rule provenance says derived a
+   known quality fact.  A fake strictly-increasing clock makes "every
+   enumerated rule accrues time" deterministic — no dependence on
+   wall-clock resolution. *)
+let test_profile_attributes_hospital_rules () =
+  let module Context = Mdqa_context.Context in
+  let module Hospital = Mdqa_hospital.Hospital in
+  let module Explain = Mdqa_datalog.Explain in
+  let module R = Mdqa_relational in
+  let tick = ref 0. in
+  let p = Profile.create ~clock:(fun () -> tick := !tick +. 1.; !tick) () in
+  Profile.install p;
+  Fun.protect ~finally:Profile.uninstall @@ fun () ->
+  let a =
+    Context.assess ~provenance:true (Hospital.context ())
+      ~source:(Hospital.source ())
+  in
+  let snap = Profile.snapshot p in
+  let row =
+    R.Tuple.of_list
+      [ R.Value.sym "Sep/5-12:10"; R.Value.sym "Tom Waits";
+        R.Value.real 38.2 ]
+  in
+  match Context.explain a "measurements" row with
+  | Error e -> Alcotest.fail e
+  | Ok tree ->
+    let used = Explain.rules_used tree in
+    Alcotest.(check bool) "provenance names rules" true (used <> []);
+    List.iter
+      (fun rule ->
+        match Profile.find_rule snap rule with
+        | None -> Alcotest.failf "no profile entry for rule %s" rule
+        | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s accrued time" rule)
+            true
+            (r.Profile.rule_seconds > 0.))
+      used;
+    Alcotest.(check bool) "chase phase recorded" true
+      (Profile.find_phase snap "chase" <> None);
+    Alcotest.(check bool) "assess phase recorded" true
+      (Profile.find_phase snap "assess" <> None)
+
+(* --- stats sidecar ----------------------------------------------------- *)
+
+module Stats = Mdqa_store.Stats
+
+let with_tmp_sidecar f =
+  let store = Filename.temp_file "mdqa_stats" ".store" in
+  let path = Stats.path_of store in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ store; path ])
+    (fun () -> f ~store ~path)
+
+let prop_stats_roundtrip =
+  QCheck.Test.make ~name:"sidecar write/read round-trips" ~count:50
+    obs_list_arb (fun ops ->
+      let snap = profile_snapshot_of ops in
+      with_tmp_sidecar (fun ~store:_ ~path ->
+          Stats.write ~path snap;
+          Stats.read ~path = Ok snap))
+
+let prop_stats_corruption_detected =
+  QCheck.Test.make ~name:"every single-byte flip is rejected" ~count:10
+    obs_list_arb (fun ops ->
+      let snap = profile_snapshot_of ops in
+      with_tmp_sidecar (fun ~store:_ ~path ->
+          Stats.write ~path snap;
+          let ic = open_in_bin path in
+          let raw =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let ok = ref true in
+          String.iteri
+            (fun i c ->
+              let damaged = Bytes.of_string raw in
+              Bytes.set damaged i (Char.chr (Char.code c lxor 0x40));
+              let oc = open_out_bin path in
+              output_bytes oc damaged;
+              close_out oc;
+              match Stats.read ~path with
+              | Error _ -> ()
+              | Ok _ -> ok := false)
+            raw;
+          !ok))
+
+let test_stats_record_accumulates () =
+  let s1 = profile_snapshot_of [ 0; 1; 2; 3; 17 ]
+  and s2 = profile_snapshot_of [ 7; 8; 9; 10; 24 ] in
+  with_tmp_sidecar (fun ~store ~path ->
+      Stats.record ~store s1;
+      Stats.record ~store s2;
+      match Stats.read ~path with
+      | Error e -> Alcotest.fail e
+      | Ok got ->
+        Alcotest.(check bool) "merge of both runs" true
+          (got = Profile.merge s1 s2))
+
+let test_stats_read_absent_and_truncated () =
+  with_tmp_sidecar (fun ~store:_ ~path ->
+      (try Sys.remove path with Sys_error _ -> ());
+      Alcotest.(check bool) "absent file is an error, not a crash" true
+        (match Stats.read ~path with Error _ -> true | Ok _ -> false);
+      let oc = open_out_bin path in
+      output_string oc "MDQA";
+      close_out oc;
+      Alcotest.(check bool) "truncated header rejected" true
+        (match Stats.read ~path with Error _ -> true | Ok _ -> false))
+
+(* A damaged (or healthy) sidecar must be invisible to store triage:
+   fsck walks the snapshot, journal and generations, never [path.stats]. *)
+let test_stats_opaque_to_fsck () =
+  let module Store = Mdqa_store.Store in
+  let module Fsck = Mdqa_store.Fsck in
+  let dir = Filename.temp_file "mdqa_fsck_stats" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "s.store" in
+  let guard = Mdqa_datalog.Guard.unlimited () in
+  let program_text = "p(a). q(X) :- p(X)." in
+  let program = (Mdqa_datalog.Parser.parse_string program_text).Mdqa_datalog.Parser.program in
+  let store =
+    Store.create ~guard ~path ~program_text ~variant:Mdqa_datalog.Chase.Restricted ()
+  in
+  ignore
+    (Mdqa_datalog.Chase.run ~guard ~checkpoint:(Store.checkpoint store)
+       program (Mdqa_relational.Instance.create ()));
+  let oc = open_out_bin (Stats.path_of path) in
+  output_string oc "garbage, not a valid sidecar at all";
+  close_out oc;
+  let report = Fsck.check ~path in
+  Alcotest.(check bool) "store stays clean under a damaged sidecar" true
+    (report.Fsck.status = Fsck.Clean)
+
 (* ---------------------------------------------------------------------- *)
 
 let case name f = Alcotest.test_case name `Quick f
@@ -327,4 +600,19 @@ let suites =
     ( "obs.logger",
       [ case "JSONL records and level filtering" test_logger_json_and_levels;
         case "text format" test_logger_text_format;
-        case "level parsing" test_level_of_string ] ) ]
+        case "level parsing" test_level_of_string ] );
+    ( "obs.profile",
+      props
+        [ prop_profile_merge_commutative; prop_profile_merge_associative;
+          prop_profile_merge_identity; prop_profile_merge_counts_sum;
+          prop_profile_json_parses ]
+      @ [ case "scope discipline" test_profile_scope_discipline;
+          case "off is transparent" test_profile_off_is_transparent;
+          case "hospital assessment attributes every used rule"
+            test_profile_attributes_hospital_rules ] );
+    ( "obs.stats",
+      props [ prop_stats_roundtrip; prop_stats_corruption_detected ]
+      @ [ case "record accumulates across runs" test_stats_record_accumulates;
+          case "absent and truncated sidecars are errors"
+            test_stats_read_absent_and_truncated;
+          case "fsck treats the sidecar as opaque" test_stats_opaque_to_fsck ] ) ]
